@@ -1,0 +1,153 @@
+//! Union-find with union by rank only (no path compression).
+//!
+//! `find` costs O(log n) worst case.  The paper's local tier uses this
+//! variant because path compression mutates the forest during queries, which
+//! complicates concurrent `FIND-TRACE` operations (§5).  The serial structure
+//! here exists for the ablation benchmark (`ablation_dsu`) comparing it with
+//! the path-compressed [`crate::UnionFind`]; the actual concurrent structure
+//! is [`crate::ConcurrentUnionFind`].
+
+use crate::DisjointSets;
+
+/// Union-find with union by rank and no path compression.
+#[derive(Clone, Debug, Default)]
+pub struct RankOnlyUnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    find_steps: u64,
+}
+
+impl RankOnlyUnionFind {
+    /// Create an empty structure.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Total parent-pointer hops performed by all `find` calls so far.
+    pub fn find_steps(&self) -> u64 {
+        self.find_steps
+    }
+
+    /// `find` without `&mut self`: possible because nothing is compressed.
+    pub fn find_immutable(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+}
+
+impl DisjointSets for RankOnlyUnionFind {
+    fn with_capacity(capacity: usize) -> Self {
+        RankOnlyUnionFind {
+            parent: Vec::with_capacity(capacity),
+            rank: Vec::with_capacity(capacity),
+            find_steps: 0,
+        }
+    }
+
+    fn make_set(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+            self.find_steps += 1;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        hi
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.parent.capacity() * std::mem::size_of::<u32>()
+            + self.rank.capacity()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_depth_is_logarithmic_under_rank_union() {
+        let n = 1u32 << 14;
+        let mut uf = RankOnlyUnionFind::with_capacity(n as usize);
+        for _ in 0..n {
+            uf.make_set();
+        }
+        let mut step = 1u32;
+        while step < n {
+            let mut i = 0u32;
+            while i + step < n {
+                uf.union(i, i + step);
+                i += step * 2;
+            }
+            step *= 2;
+        }
+        // Worst-case find depth should be <= log2(n) = 14 hops.
+        for i in (0..n).step_by(97) {
+            let before = uf.find_steps();
+            uf.find(i);
+            assert!(uf.find_steps() - before <= 14);
+        }
+    }
+
+    #[test]
+    fn immutable_find_agrees_with_mutable_find() {
+        let mut uf = RankOnlyUnionFind::with_capacity(100);
+        for _ in 0..100 {
+            uf.make_set();
+        }
+        for i in 0..50u32 {
+            uf.union(i * 2, i * 2 + 1);
+        }
+        for i in 0..25u32 {
+            uf.union(i * 4, i * 4 + 2);
+        }
+        for i in 0..100u32 {
+            assert_eq!(uf.find(i), uf.find_immutable(i));
+        }
+    }
+
+    #[test]
+    fn no_compression_leaves_structure_untouched_by_find() {
+        let mut uf = RankOnlyUnionFind::with_capacity(10);
+        for _ in 0..10 {
+            uf.make_set();
+        }
+        for i in 0..9u32 {
+            uf.union(i, i + 1);
+        }
+        let parents_before = uf.parent.clone();
+        for i in 0..10u32 {
+            uf.find(i);
+        }
+        assert_eq!(parents_before, uf.parent);
+    }
+}

@@ -1,0 +1,64 @@
+//! The callback interface through which the runtime reports walk events.
+
+use sptree::tree::{NodeId, ThreadId};
+
+/// Opaque 64-bit value threaded through the walk exactly like the trace
+/// argument `U` of `SP-HYBRID(X, U)` (paper Figure 8): it is passed down into
+/// subtrees, returned from completed subtrees, and replaced on steals by the
+/// values the visitor chooses.
+pub type Token = u64;
+
+/// Tokens produced by a steal: the stolen right subtree runs under `right`
+/// (the paper's U⁽⁴⁾) and the continuation after the join runs under `after`
+/// (the paper's U⁽⁵⁾).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StealTokens {
+    /// Token for the stolen right subtree (U⁽⁴⁾).
+    pub right: Token,
+    /// Token for everything after the corresponding join (U⁽⁵⁾).
+    pub after: Token,
+}
+
+/// Callbacks invoked by the parallel walk.
+///
+/// Events of one *serial stretch* of the walk (one worker walking without
+/// interruption) arrive on that worker in exactly the order the serial
+/// left-to-right walk would produce them; steals introduce the documented
+/// deviations (no `between_children`/`leave_internal` for a stolen P-node —
+/// instead `steal` on the thief and `join_stolen` on the last finisher).
+#[allow(unused_variables)]
+pub trait ParallelVisitor: Sync {
+    /// A worker is about to walk the subtrees of internal node `node`,
+    /// carrying `token`.
+    fn enter_internal(&self, worker: usize, node: NodeId, token: Token) {}
+
+    /// The left subtree of `node` finished on this worker and the right
+    /// subtree is about to be walked serially by the same worker (i.e. the
+    /// `SYNCHED()` check of Figure 8 passed — no steal at this node).
+    /// `token` is the token the right subtree will be walked under.
+    fn between_children(&self, worker: usize, node: NodeId, token: Token) {}
+
+    /// Both subtrees of `node` finished and the node completes on this worker
+    /// without having been stolen.  `token` is the token returned upward.
+    fn leave_internal(&self, worker: usize, node: NodeId, token: Token) {}
+
+    /// A leaf is executed by `worker` under `token`.  This is where the
+    /// program's "real work" (and, for a race detector, its shadowed memory
+    /// accesses and SP queries) happens.
+    fn execute_thread(&self, worker: usize, node: NodeId, thread: ThreadId, token: Token);
+
+    /// Worker `thief` stole the continuation of P-node `pnode` from `victim`.
+    /// `token` is the token the victim was walking under (the trace `U` being
+    /// split).  The visitor returns the tokens for the stolen right subtree
+    /// and for the continuation after the join.  The runtime guarantees the
+    /// thief executes nothing of the right subtree before this call returns.
+    fn steal(&self, thief: usize, victim: usize, pnode: NodeId, token: Token) -> StealTokens;
+
+    /// Both children of the previously stolen P-node `pnode` have completed;
+    /// `worker` (the last finisher) is about to continue the walk above the
+    /// node under `after` (the token chosen by [`ParallelVisitor::steal`]).
+    fn join_stolen(&self, worker: usize, pnode: NodeId, after: Token) {}
+
+    /// The whole tree finished; `token` is the token returned by the root.
+    fn finished(&self, token: Token) {}
+}

@@ -1,0 +1,532 @@
+//! Concurrent order-maintenance list — the SP-hybrid *global tier* substrate.
+//!
+//! The paper (§4) requires an order-maintenance structure in which
+//!
+//! * insertions are serialized (they happen only when a steal occurs, so they
+//!   are rare — O(P·T∞) of them in expectation), and
+//! * `OM-PRECEDES` queries run **without locking**, even while an insertion is
+//!   relabeling items, because queries are issued on every instrumented memory
+//!   access and may be very numerous.
+//!
+//! This implementation follows the paper's scheme directly:
+//!
+//! * every item has an atomic *label* and an atomic *timestamp*;
+//! * a rebalance proceeds in five passes — (1) choose the range, (2) bump every
+//!   timestamp in the range, (3) assign each item its minimum possible label
+//!   in ascending order, (4) bump every timestamp again, (5) assign the final
+//!   evenly spread labels in descending order — so the relative order of items
+//!   never changes at any instant;
+//! * a query reads `(label, timestamp)` of both items, then re-reads them, and
+//!   retries if anything changed in between.
+//!
+//! Items live in a fixed-capacity slab allocated up front so that queries can
+//! address them without taking any lock; the SP-hybrid algorithm knows a safe
+//! upper bound on the number of traces (4·steals + 1 ≤ 4·|P-nodes| + 1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Handle to an element of a [`ConcurrentOmList`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConcurrentOmNode(pub(crate) u32);
+
+impl ConcurrentOmNode {
+    /// Raw slab index of this handle.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const TAG_BITS: u32 = 62;
+const TAG_LIMIT: u64 = 1 << TAG_BITS;
+const NIL: u32 = u32::MAX;
+
+/// Per-item atomics readable without the list lock.
+struct Slot {
+    label: AtomicU64,
+    stamp: AtomicU64,
+}
+
+/// Linked-list topology; only touched while holding the insertion lock.
+struct Inner {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    len: usize,
+    relabel_items: u64,
+    rebalances: u64,
+}
+
+/// Concurrent order-maintenance list with lock-free queries.
+pub struct ConcurrentOmList {
+    slots: Box<[Slot]>,
+    inner: Mutex<Inner>,
+    query_retries: AtomicU64,
+}
+
+impl ConcurrentOmList {
+    /// Create a list able to hold at most `capacity` items, containing one
+    /// base item (whose handle is returned).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0, or later if more than `capacity` items are
+    /// inserted.
+    pub fn with_capacity(capacity: usize) -> (Self, ConcurrentOmNode) {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        assert!(capacity < NIL as usize, "capacity too large");
+        let slots: Box<[Slot]> = (0..capacity)
+            .map(|_| Slot {
+                label: AtomicU64::new(0),
+                stamp: AtomicU64::new(0),
+            })
+            .collect();
+        let mut inner = Inner {
+            next: vec![NIL; capacity],
+            prev: vec![NIL; capacity],
+            head: 0,
+            len: 1,
+            relabel_items: 0,
+            rebalances: 0,
+        };
+        inner.next[0] = NIL;
+        inner.prev[0] = NIL;
+        slots[0].label.store(TAG_LIMIT / 2, Ordering::Release);
+        (
+            ConcurrentOmList {
+                slots,
+                inner: Mutex::new(inner),
+                query_retries: AtomicU64::new(0),
+            },
+            ConcurrentOmNode(0),
+        )
+    }
+
+    /// Maximum number of items the list can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// True if the list has no items (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of query attempts that had to be retried because a rebalance
+    /// was observed in flight.
+    pub fn query_retry_count(&self) -> u64 {
+        self.query_retries.load(Ordering::Relaxed)
+    }
+
+    /// Number of rebalances and the total number of item relabelings so far.
+    pub fn rebalance_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.rebalances, inner.relabel_items)
+    }
+
+    /// Approximate heap bytes used.
+    pub fn space_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>()
+            + self.slots.len() * 2 * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Insert a new item immediately after `x`.  Serialized internally.
+    pub fn insert_after(&self, x: ConcurrentOmNode) -> ConcurrentOmNode {
+        let mut inner = self.inner.lock();
+        self.locked_insert_after(&mut inner, x.0)
+    }
+
+    /// Insert a new item immediately before `x`.  Serialized internally.
+    pub fn insert_before(&self, x: ConcurrentOmNode) -> ConcurrentOmNode {
+        let mut inner = self.inner.lock();
+        let prev = inner.prev[x.0 as usize];
+        if prev != NIL {
+            return self.locked_insert_after(&mut inner, prev);
+        }
+        // Inserting before the head: allocate a slot whose label sits halfway
+        // between 0 and the head's label, rebalancing if the head is at 0.
+        loop {
+            let head = inner.head;
+            let head_label = self.slots[head as usize].label.load(Ordering::Acquire);
+            if head_label >= 2 {
+                let id = self.alloc_slot(&mut inner);
+                self.slots[id as usize]
+                    .label
+                    .store(head_label / 2, Ordering::Release);
+                inner.next[id as usize] = head;
+                inner.prev[id as usize] = NIL;
+                inner.prev[head as usize] = id;
+                inner.head = id;
+                return ConcurrentOmNode(id);
+            }
+            self.rebalance_around(&mut inner, head);
+        }
+    }
+
+    /// The paper's `OM-MULTI-INSERT(L, A, B, U, C, D)`: insert two new items
+    /// immediately before `u` (in order `A`, `B`) and two immediately after
+    /// `u` (in order `C`, `D`), all under a single acquisition of the internal
+    /// lock.  Returns `(a, b, c, d)`.
+    pub fn multi_insert_around(
+        &self,
+        u: ConcurrentOmNode,
+    ) -> (
+        ConcurrentOmNode,
+        ConcurrentOmNode,
+        ConcurrentOmNode,
+        ConcurrentOmNode,
+    ) {
+        let mut inner = self.inner.lock();
+        // B directly precedes U, A precedes B.
+        let b = {
+            let prev = inner.prev[u.0 as usize];
+            if prev != NIL {
+                self.locked_insert_after(&mut inner, prev)
+            } else {
+                drop(inner);
+                let b = self.insert_before(u);
+                inner = self.inner.lock();
+                b
+            }
+        };
+        let a = {
+            let prev = inner.prev[b.0 as usize];
+            if prev != NIL {
+                self.locked_insert_after(&mut inner, prev)
+            } else {
+                drop(inner);
+                let a = self.insert_before(b);
+                inner = self.inner.lock();
+                a
+            }
+        };
+        // C directly follows U, D follows C.
+        let c = self.locked_insert_after(&mut inner, u.0);
+        let d = self.locked_insert_after(&mut inner, c.0);
+        (a, b, c, d)
+    }
+
+    /// Lock-free query: does `a` precede `b`?  `a == b` yields `false`.
+    ///
+    /// Implements the paper's retry scheme: read label and timestamp of both
+    /// items, read them again, and only trust the comparison if nothing
+    /// changed in between.
+    pub fn precedes(&self, a: ConcurrentOmNode, b: ConcurrentOmNode) -> bool {
+        if a == b {
+            return false;
+        }
+        let sa = &self.slots[a.0 as usize];
+        let sb = &self.slots[b.0 as usize];
+        loop {
+            let ts_a1 = sa.stamp.load(Ordering::Acquire);
+            let la1 = sa.label.load(Ordering::Acquire);
+            let ts_b1 = sb.stamp.load(Ordering::Acquire);
+            let lb1 = sb.label.load(Ordering::Acquire);
+
+            let ts_a2 = sa.stamp.load(Ordering::Acquire);
+            let la2 = sa.label.load(Ordering::Acquire);
+            let ts_b2 = sb.stamp.load(Ordering::Acquire);
+            let lb2 = sb.label.load(Ordering::Acquire);
+
+            if ts_a1 == ts_a2 && ts_b1 == ts_b2 && la1 == la2 && lb1 == lb2 {
+                return la1 < lb1;
+            }
+            self.query_retries.fetch_add(1, Ordering::Relaxed);
+            std::hint::spin_loop();
+        }
+    }
+
+    fn alloc_slot(&self, inner: &mut Inner) -> u32 {
+        assert!(
+            inner.len < self.slots.len(),
+            "ConcurrentOmList capacity ({}) exhausted",
+            self.slots.len()
+        );
+        let id = inner.len as u32;
+        inner.len += 1;
+        id
+    }
+
+    fn locked_insert_after(&self, inner: &mut Inner, x: u32) -> ConcurrentOmNode {
+        loop {
+            let next = inner.next[x as usize];
+            let lx = self.slots[x as usize].label.load(Ordering::Acquire);
+            let ln = if next == NIL {
+                TAG_LIMIT
+            } else {
+                self.slots[next as usize].label.load(Ordering::Acquire)
+            };
+            if ln - lx >= 2 {
+                let id = self.alloc_slot(inner);
+                self.slots[id as usize]
+                    .label
+                    .store(lx + (ln - lx) / 2, Ordering::Release);
+                inner.next[id as usize] = next;
+                inner.prev[id as usize] = x;
+                inner.next[x as usize] = id;
+                if next != NIL {
+                    inner.prev[next as usize] = id;
+                }
+                return ConcurrentOmNode(id);
+            }
+            self.rebalance_around(inner, x);
+        }
+    }
+
+    /// Five-pass rebalance as described in §4 of the paper.  The relative
+    /// order of items never changes at any point, and timestamps are bumped
+    /// before each relabeling pass so in-flight queries can detect interference.
+    fn rebalance_around(&self, inner: &mut Inner, x: u32) {
+        inner.rebalances += 1;
+        let x_tag = self.slots[x as usize].label.load(Ordering::Acquire);
+
+        // Pass 1: determine the range of items to rebalance.
+        let mut height: u32 = 1;
+        let (first, count, range_start, range_size) = loop {
+            let (range_start, range_size) = if height >= TAG_BITS {
+                (0u64, TAG_LIMIT)
+            } else {
+                let size = 1u64 << height;
+                (x_tag & !(size - 1), size)
+            };
+            let range_end = range_start.saturating_add(range_size);
+
+            let mut first = x;
+            loop {
+                let p = inner.prev[first as usize];
+                if p != NIL && self.slots[p as usize].label.load(Ordering::Acquire) >= range_start
+                {
+                    first = p;
+                } else {
+                    break;
+                }
+            }
+            let mut count: u64 = 0;
+            let mut cur = first;
+            while cur != NIL
+                && self.slots[cur as usize].label.load(Ordering::Acquire) < range_end
+            {
+                count += 1;
+                cur = inner.next[cur as usize];
+            }
+
+            let capacity = {
+                let ratio = (4.0f64 / 5.0).powi(height as i32);
+                ((range_size as f64) * ratio).max(1.0) as u64
+            };
+            let stride_ok = range_size / (count + 1) >= 2;
+            if (count < capacity && stride_ok) || range_size == TAG_LIMIT {
+                break (first, count, range_start, range_size);
+            }
+            height += 1;
+        };
+
+        // Pass 2: bump timestamps to announce the rebalance.
+        let mut cur = first;
+        for _ in 0..count {
+            self.slots[cur as usize].stamp.fetch_add(1, Ordering::Release);
+            cur = inner.next[cur as usize];
+        }
+
+        // Pass 3: assign minimum labels, ascending.  Item i receives
+        // range_start + i, which never reorders items because the old labels
+        // are distinct and >= range_start.
+        let mut cur = first;
+        for i in 0..count {
+            self.slots[cur as usize]
+                .label
+                .store(range_start + i, Ordering::Release);
+            cur = inner.next[cur as usize];
+        }
+
+        // Pass 4: bump timestamps again to mark the second phase.
+        let mut cur = first;
+        for _ in 0..count {
+            self.slots[cur as usize].stamp.fetch_add(1, Ordering::Release);
+            cur = inner.next[cur as usize];
+        }
+
+        // Pass 5: assign final labels, descending, evenly spread.
+        let stride = (range_size / (count + 1)).max(1);
+        // Collect the run once so we can walk it backwards.
+        let mut run = Vec::with_capacity(count as usize);
+        let mut cur = first;
+        for _ in 0..count {
+            run.push(cur);
+            cur = inner.next[cur as usize];
+        }
+        for (i, &item) in run.iter().enumerate().rev() {
+            let label = range_start + (i as u64 + 1) * stride;
+            self.slots[item as usize]
+                .label
+                .store(label.min(range_start + range_size - 1), Ordering::Release);
+        }
+        inner.relabel_items += count;
+    }
+
+    /// Walk the list in order (takes the lock; for tests and debugging only).
+    pub fn iter_order(&self) -> Vec<ConcurrentOmNode> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.len);
+        let mut cur = inner.head;
+        while cur != NIL {
+            out.push(ConcurrentOmNode(cur));
+            cur = inner.next[cur as usize];
+        }
+        out
+    }
+
+    /// Check structural invariants (test helper).
+    pub fn check_invariants(&self) {
+        let inner = self.inner.lock();
+        let mut cur = inner.head;
+        let mut prev = NIL;
+        let mut count = 0usize;
+        let mut last = None;
+        while cur != NIL {
+            assert_eq!(inner.prev[cur as usize], prev);
+            let label = self.slots[cur as usize].label.load(Ordering::Acquire);
+            if let Some(l) = last {
+                assert!(l < label, "labels not strictly increasing");
+            }
+            last = Some(label);
+            prev = cur;
+            cur = inner.next[cur as usize];
+            count += 1;
+        }
+        assert_eq!(count, inner.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn serial_inserts_and_queries() {
+        let (list, base) = ConcurrentOmList::with_capacity(1 << 14);
+        let mut prev = base;
+        let mut all = vec![base];
+        for _ in 0..5000 {
+            prev = list.insert_after(prev);
+            all.push(prev);
+        }
+        list.check_invariants();
+        for w in all.windows(2) {
+            assert!(list.precedes(w[0], w[1]));
+            assert!(!list.precedes(w[1], w[0]));
+        }
+    }
+
+    #[test]
+    fn insert_before_works_even_at_head() {
+        let (list, base) = ConcurrentOmList::with_capacity(1 << 12);
+        let mut earliest = base;
+        let mut fronts = vec![base];
+        for _ in 0..1000 {
+            earliest = list.insert_before(earliest);
+            fronts.push(earliest);
+        }
+        list.check_invariants();
+        // fronts[i] precedes fronts[j] for i > j (later inserts go earlier).
+        for w in fronts.windows(2) {
+            assert!(list.precedes(w[1], w[0]));
+        }
+        assert_eq!(list.iter_order().first().copied(), Some(earliest));
+    }
+
+    #[test]
+    fn multi_insert_around_produces_paper_order() {
+        let (list, u) = ConcurrentOmList::with_capacity(64);
+        let (a, b, c, d) = list.multi_insert_around(u);
+        // Expected order: a, b, u, c, d.
+        assert_eq!(list.iter_order(), vec![a, b, u, c, d]);
+        assert!(list.precedes(a, b));
+        assert!(list.precedes(b, u));
+        assert!(list.precedes(u, c));
+        assert!(list.precedes(c, d));
+        list.check_invariants();
+    }
+
+    #[test]
+    fn repeated_insert_after_base_rebalances() {
+        let (list, base) = ConcurrentOmList::with_capacity(1 << 13);
+        let mut newest = Vec::new();
+        for _ in 0..4000 {
+            newest.push(list.insert_after(base));
+        }
+        let (rebalances, relabeled) = list.rebalance_stats();
+        assert!(rebalances > 0);
+        assert!(relabeled > 0);
+        list.check_invariants();
+        for w in newest.windows(2) {
+            assert!(list.precedes(w[1], w[0]));
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_during_inserts_are_consistent() {
+        // One writer inserting (and hence rebalancing), several readers
+        // continuously checking a fixed known-ordered chain of items.
+        let (list, base) = ConcurrentOmList::with_capacity(1 << 16);
+        let list = Arc::new(list);
+        let mut chain = vec![base];
+        {
+            let mut prev = base;
+            for _ in 0..64 {
+                prev = list.insert_after(prev);
+                chain.push(prev);
+            }
+        }
+        let chain = Arc::new(chain);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut readers = Vec::new();
+        for t in 0..4 {
+            let list = Arc::clone(&list);
+            let chain = Arc::clone(&chain);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut checks = 0u64;
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let a = i % (chain.len() - 1);
+                    let b = a + 1 + (i % (chain.len() - a - 1));
+                    assert!(list.precedes(chain[a], chain[b]));
+                    assert!(!list.precedes(chain[b], chain[a]));
+                    checks += 1;
+                    i += 7;
+                }
+                checks
+            }));
+        }
+
+        // Writer: hammer inserts right after base to force many rebalances of
+        // the region containing the chain.
+        for _ in 0..20_000 {
+            list.insert_after(base);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0);
+        list.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn exceeding_capacity_panics() {
+        let (list, base) = ConcurrentOmList::with_capacity(4);
+        for _ in 0..10 {
+            list.insert_after(base);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! On-the-fly determinacy-race detection — the application the paper's
+//! SP-maintenance algorithms exist to serve.
+//!
+//! A *determinacy race* occurs when two logically parallel threads access the
+//! same shared-memory location and at least one of the accesses is a write.
+//! The Nondeterminator-style detector keeps, for every shadowed location, one
+//! recorded *writer* and one recorded *reader*; every access by the currently
+//! executing thread issues O(1) SP queries against those recorded threads
+//! (`parallel?`) and updates them.  The per-access cost is therefore exactly
+//! the SP-maintenance query cost, which is why Figure 3's comparison
+//! translates directly into end-to-end detector overhead (Corollary 6: with
+//! SP-order the whole instrumented run costs O(T₁)).
+//!
+//! Two detectors are provided:
+//!
+//! * [`serial::SerialRaceDetector`] — drives a serial left-to-right execution
+//!   of the program and works with **any** serial SP-maintenance algorithm
+//!   from the `spmaint` crate;
+//! * [`parallel::ParallelRaceDetector`] — runs the program on the `forkrt`
+//!   work-stealing scheduler and uses SP-hybrid for queries, with sharded
+//!   locks on the shadow cells.
+//!
+//! Memory accesses are provided as per-thread *access scripts*
+//! ([`access::AccessScript`]), the synthetic stand-in for instrumenting a real
+//! program (see DESIGN.md's substitution table).
+
+pub mod access;
+pub mod parallel;
+pub mod report;
+pub mod serial;
+pub mod shadow;
+
+pub use access::{Access, AccessKind, AccessScript};
+pub use parallel::ParallelRaceDetector;
+pub use report::{Race, RaceKind, RaceReport};
+pub use serial::SerialRaceDetector;
+pub use shadow::ShadowMemory;

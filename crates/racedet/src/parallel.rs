@@ -1,0 +1,186 @@
+//! Parallel on-the-fly determinacy-race detector built on SP-hybrid.
+//!
+//! The program runs on the `forkrt` work-stealing scheduler; every worker
+//! performs its threads' scripted accesses against a shared, per-cell-locked
+//! shadow memory and issues `SP-PRECEDES` queries through the SP-hybrid
+//! structure (whose global-tier queries are lock-free and whose local-tier
+//! queries are per-trace).  This is the end-to-end system the paper's
+//! performance theorem (Theorem 10) is about: the instrumented program keeps
+//! most of its parallelism because SP-maintenance work serializes only on the
+//! rare steal events.
+
+use parking_lot::Mutex;
+use sphybrid::hybrid::{HybridConfig, HybridStats, SpHybrid};
+use sptree::tree::{ParseTree, ThreadId};
+
+use crate::access::{AccessKind, AccessScript};
+use crate::report::{Race, RaceKind, RaceReport};
+use crate::shadow::SyncShadowMemory;
+
+/// Parallel race detector.
+pub struct ParallelRaceDetector;
+
+impl ParallelRaceDetector {
+    /// Run the instrumented program on `workers` workers and report races.
+    pub fn run(
+        tree: &ParseTree,
+        script: &AccessScript,
+        workers: usize,
+    ) -> (RaceReport, HybridStats) {
+        assert_eq!(
+            script.num_threads(),
+            tree.num_threads(),
+            "access script must cover every thread of the program"
+        );
+        let shadow = SyncShadowMemory::new(script.num_locations());
+        let report = Mutex::new(RaceReport::new());
+        let hybrid = SpHybrid::new(tree, HybridConfig::with_workers(workers));
+
+        let stats = hybrid.run(workers, |h, current, trace| {
+            for access in script.of(current) {
+                check_access_parallel(h, &shadow, &report, current, trace, access.loc, access.kind);
+            }
+        });
+        (report.into_inner(), stats)
+    }
+}
+
+fn check_access_parallel(
+    hybrid: &SpHybrid<'_>,
+    shadow: &SyncShadowMemory,
+    report: &Mutex<RaceReport>,
+    current: ThreadId,
+    trace: sphybrid::TraceId,
+    loc: u32,
+    kind: AccessKind,
+) {
+    let mut cell = shadow.lock(loc);
+    let parallel_with =
+        |earlier: ThreadId| earlier != current && hybrid.parallel_with_current(earlier, trace);
+    match kind {
+        AccessKind::Write => {
+            if let Some(w) = cell.writer {
+                if parallel_with(w) {
+                    report.lock().push(Race {
+                        loc,
+                        earlier: w,
+                        later: current,
+                        kind: RaceKind::WriteWrite,
+                    });
+                }
+            }
+            if let Some(r) = cell.reader {
+                if parallel_with(r) {
+                    report.lock().push(Race {
+                        loc,
+                        earlier: r,
+                        later: current,
+                        kind: RaceKind::ReadWrite,
+                    });
+                }
+            }
+            cell.writer = Some(current);
+        }
+        AccessKind::Read => {
+            if let Some(w) = cell.writer {
+                if parallel_with(w) {
+                    report.lock().push(Race {
+                        loc,
+                        earlier: w,
+                        later: current,
+                        kind: RaceKind::WriteRead,
+                    });
+                }
+            }
+            let replace = match cell.reader {
+                None => true,
+                Some(r) => r == current || hybrid.precedes_current(r, trace),
+            };
+            if replace {
+                cell.reader = Some(current);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::serial::SerialRaceDetector;
+    use spmaint::SpOrder;
+    use sptree::cilk::{CilkProgram, Procedure, SyncBlock};
+    use sptree::generate::fib_like;
+
+    /// main spawns two children that both write the same location.
+    fn racy_cilk_program() -> (ParseTree, AccessScript) {
+        let child = |work| Procedure::single(SyncBlock::new().work(work));
+        let main = Procedure::single(SyncBlock::new().spawn(child(3)).spawn(child(5)).work(1));
+        let tree = CilkProgram::new(main).build_tree();
+        let mut script = AccessScript::new(tree.num_threads(), 4);
+        let a = tree.thread_ids().find(|&t| tree.work_of(t) == 3).unwrap();
+        let b = tree.thread_ids().find(|&t| tree.work_of(t) == 5).unwrap();
+        script.push(a, Access::write(0));
+        script.push(b, Access::write(0));
+        (tree, script)
+    }
+
+    #[test]
+    fn parallel_detector_finds_injected_race() {
+        let (tree, script) = racy_cilk_program();
+        for workers in [1usize, 2, 4] {
+            let (report, _stats) = ParallelRaceDetector::run(&tree, &script, workers);
+            assert_eq!(report.racy_locations(), vec![0], "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn race_free_program_stays_clean_in_parallel() {
+        // fib-like program where every thread touches only its own location.
+        let tree = CilkProgram::new(fib_like(8, 1)).build_tree();
+        let mut script = AccessScript::new(tree.num_threads(), tree.num_threads() as u32);
+        for t in tree.thread_ids() {
+            script.push(t, Access::write(t.0));
+            script.push(t, Access::read(t.0));
+        }
+        for workers in [1usize, 4] {
+            let (report, _stats) = ParallelRaceDetector::run(&tree, &script, workers);
+            assert!(report.is_empty(), "workers = {workers}: {:?}", report.races());
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_detectors_agree_on_racy_locations() {
+        // A program with shared read-mostly data plus one racy counter.
+        let child = |id: u64| Procedure::single(SyncBlock::new().work(id));
+        let main = Procedure::new()
+            .block(SyncBlock::new().work(100).spawn(child(1)).spawn(child(2)).spawn(child(3)))
+            .block(SyncBlock::new().work(101));
+        let tree = CilkProgram::new(main).build_tree();
+        let mut script = AccessScript::new(tree.num_threads(), 8);
+        // Thread with work 100 initializes location 1 (before the spawns).
+        let init = tree.thread_ids().find(|&t| tree.work_of(t) == 100).unwrap();
+        script.push(init, Access::write(1));
+        // Every spawned child reads location 1 (no race) and writes location 2
+        // (races between children).
+        for id in 1..=3u64 {
+            let t = tree.thread_ids().find(|&t| tree.work_of(t) == id).unwrap();
+            script.push(t, Access::read(1));
+            script.push(t, Access::write(2));
+        }
+        // The thread after the sync reads location 2: no race (all writers joined).
+        let after = tree.thread_ids().find(|&t| tree.work_of(t) == 101).unwrap();
+        script.push(after, Access::read(2));
+
+        let (serial_report, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        for workers in [1usize, 2, 4] {
+            let (par_report, _) = ParallelRaceDetector::run(&tree, &script, workers);
+            assert_eq!(
+                par_report.racy_locations(),
+                serial_report.racy_locations(),
+                "workers = {workers}"
+            );
+        }
+        assert_eq!(serial_report.racy_locations(), vec![2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Serial on-the-fly determinacy-race detector.
+//!
+//! Simulates the serial (left-to-right) execution of the program under test,
+//! maintaining any serial SP-maintenance structure from the `spmaint` crate on
+//! the fly, and checks every scripted shared-memory access against the shadow
+//! memory (paper §1: "A typical serial, on-the-fly data-race detector
+//! simulates the execution of the program as a left-to-right walk of the parse
+//! tree while maintaining various data structures for determining the
+//! existence of races").
+//!
+//! Its asymptotic running time is T₁ × (cost of one SP query), which is what
+//! the `cor6_racedetect_overhead` benchmark measures: O(T₁·α) with SP-bags,
+//! O(T₁·f) / O(T₁·d) with the label-based baselines, and O(T₁) with SP-order
+//! (Corollary 6).
+
+use spmaint::api::{run_serial_with_queries, CurrentSpQuery, OnTheFlySp};
+use sptree::tree::{ParseTree, ThreadId};
+
+use crate::access::{AccessKind, AccessScript};
+use crate::report::{Race, RaceKind, RaceReport};
+use crate::shadow::ShadowMemory;
+
+/// Serial race detector, generic over the SP-maintenance algorithm.
+pub struct SerialRaceDetector;
+
+impl SerialRaceDetector {
+    /// Run the detector over `tree` with the given access script, maintaining
+    /// SP relationships with algorithm `A`.  Returns the race report and the
+    /// fully built SP structure (useful for space accounting).
+    pub fn run<A: OnTheFlySp>(tree: &ParseTree, script: &AccessScript) -> (RaceReport, A) {
+        assert_eq!(
+            script.num_threads(),
+            tree.num_threads(),
+            "access script must cover every thread of the program"
+        );
+        let mut shadow = ShadowMemory::new(script.num_locations());
+        let mut report = RaceReport::new();
+        let alg: A = run_serial_with_queries(tree, |alg, current| {
+            for access in script.of(current) {
+                check_access(alg, &mut shadow, &mut report, current, access.loc, access.kind);
+            }
+        });
+        (report, alg)
+    }
+}
+
+/// Shadow-memory update and race check for one access, shared by the serial
+/// detector (and unit tests).
+pub(crate) fn check_access<Q: CurrentSpQuery>(
+    alg: &Q,
+    shadow: &mut ShadowMemory,
+    report: &mut RaceReport,
+    current: ThreadId,
+    loc: u32,
+    kind: AccessKind,
+) {
+    let cell = shadow.cell_mut(loc);
+    match kind {
+        AccessKind::Write => {
+            if let Some(w) = cell.writer {
+                if w != current && alg.parallel_with_current(w) {
+                    report.push(Race {
+                        loc,
+                        earlier: w,
+                        later: current,
+                        kind: RaceKind::WriteWrite,
+                    });
+                }
+            }
+            if let Some(r) = cell.reader {
+                if r != current && alg.parallel_with_current(r) {
+                    report.push(Race {
+                        loc,
+                        earlier: r,
+                        later: current,
+                        kind: RaceKind::ReadWrite,
+                    });
+                }
+            }
+            cell.writer = Some(current);
+        }
+        AccessKind::Read => {
+            if let Some(w) = cell.writer {
+                if w != current && alg.parallel_with_current(w) {
+                    report.push(Race {
+                        loc,
+                        earlier: w,
+                        later: current,
+                        kind: RaceKind::WriteRead,
+                    });
+                }
+            }
+            // Keep the reader that is "deepest": replace only a reader that
+            // serially precedes the current thread (Feng–Leiserson rule).
+            let replace = match cell.reader {
+                None => true,
+                Some(r) => r == current || alg.precedes_current(r),
+            };
+            if replace {
+                cell.reader = Some(current);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
+    use sptree::builder::Ast;
+
+    /// P(write x, write x): a definite write-write race.
+    fn racy_parallel_writes() -> (ParseTree, AccessScript) {
+        let tree = Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]).build();
+        let mut script = AccessScript::new(2, 1);
+        script.push(ThreadId(0), Access::write(0));
+        script.push(ThreadId(1), Access::write(0));
+        (tree, script)
+    }
+
+    /// S(write x, write x): same accesses but serialized — no race.
+    fn serialized_writes() -> (ParseTree, AccessScript) {
+        let tree = Ast::seq(vec![Ast::leaf(1), Ast::leaf(1)]).build();
+        let mut script = AccessScript::new(2, 1);
+        script.push(ThreadId(0), Access::write(0));
+        script.push(ThreadId(1), Access::write(0));
+        (tree, script)
+    }
+
+    #[test]
+    fn detects_parallel_write_write_race_with_every_algorithm() {
+        let (tree, script) = racy_parallel_writes();
+        let (r1, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        let (r2, _) = SerialRaceDetector::run::<SpBags>(&tree, &script);
+        let (r3, _) = SerialRaceDetector::run::<EnglishHebrewLabels>(&tree, &script);
+        let (r4, _) = SerialRaceDetector::run::<OffsetSpanLabels>(&tree, &script);
+        for r in [&r1, &r2, &r3, &r4] {
+            assert_eq!(r.len(), 1);
+            assert_eq!(r.races()[0].kind, RaceKind::WriteWrite);
+            assert_eq!(r.races()[0].loc, 0);
+        }
+    }
+
+    #[test]
+    fn serialized_accesses_do_not_race() {
+        let (tree, script) = serialized_writes();
+        let (report, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let tree = Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]).build();
+        let mut script = AccessScript::new(2, 1);
+        script.push(ThreadId(0), Access::read(0));
+        script.push(ThreadId(1), Access::read(0));
+        let (report, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn read_then_parallel_write_races() {
+        // P(read x, write x) — a read-write race.
+        let tree = Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]).build();
+        let mut script = AccessScript::new(2, 1);
+        script.push(ThreadId(0), Access::read(0));
+        script.push(ThreadId(1), Access::write(0));
+        let (report, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.races()[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn write_then_serial_read_then_parallel_read_is_clean() {
+        // S(write x, P(read x, read x)): the write precedes both reads.
+        let tree = Ast::seq(vec![
+            Ast::leaf(1),
+            Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+        ])
+        .build();
+        let mut script = AccessScript::new(3, 1);
+        script.push(ThreadId(0), Access::write(0));
+        script.push(ThreadId(1), Access::read(0));
+        script.push(ThreadId(2), Access::read(0));
+        let (report, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn reader_update_rule_keeps_racy_reader() {
+        // S(P(read x, read x), write x): the write races with at least one of
+        // the two parallel readers even though only one reader is recorded.
+        // (Here both readers are parallel to each other but both precede the
+        // final write, so no race; flip it: S(read x, P(read x, write x)).)
+        let tree = Ast::seq(vec![
+            Ast::leaf(1),
+            Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+        ])
+        .build();
+        let mut script = AccessScript::new(3, 1);
+        script.push(ThreadId(0), Access::read(0));
+        script.push(ThreadId(1), Access::read(0));
+        script.push(ThreadId(2), Access::write(0));
+        let (report, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        // Thread 1 reads in parallel with thread 2's write.
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.races()[0].earlier, ThreadId(1));
+        assert_eq!(report.races()[0].later, ThreadId(2));
+    }
+}

@@ -1,0 +1,129 @@
+//! Shadow memory: one recorded reader and writer per shared location.
+//!
+//! This is the classic Nondeterminator shadow scheme (Feng–Leiserson): for
+//! every monitored location the detector remembers the last writer and one
+//! representative reader.  The update rules are
+//!
+//! * on a **write** by thread `t`: report a race if the recorded writer or the
+//!   recorded reader runs logically in parallel with `t`; then record `t` as
+//!   the writer;
+//! * on a **read** by thread `t`: report a race if the recorded writer runs
+//!   logically in parallel with `t`; record `t` as the reader if the previous
+//!   reader precedes `t` (keeping a "deepest" reader that still races with any
+//!   later conflicting write).
+//!
+//! The serial detector owns the cells outright; the parallel detector wraps
+//! each cell in a lock ([`SyncShadowMemory`]) because logically parallel
+//! threads may access the same location concurrently — which is precisely
+//! when a race exists and must still be reported, not missed or corrupted.
+
+use parking_lot::Mutex;
+use sptree::tree::ThreadId;
+
+/// Shadow state of one location.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ShadowCell {
+    /// Last recorded writer.
+    pub writer: Option<ThreadId>,
+    /// Recorded reader.
+    pub reader: Option<ThreadId>,
+}
+
+/// Shadow memory for single-threaded (serial) detection.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowMemory {
+    cells: Vec<ShadowCell>,
+}
+
+impl ShadowMemory {
+    /// Shadow memory covering `locations` locations.
+    pub fn new(locations: u32) -> Self {
+        ShadowMemory {
+            cells: vec![ShadowCell::default(); locations as usize],
+        }
+    }
+
+    /// Number of shadowed locations.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no locations are shadowed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Access a cell.
+    pub fn cell(&self, loc: u32) -> &ShadowCell {
+        &self.cells[loc as usize]
+    }
+
+    /// Mutably access a cell.
+    pub fn cell_mut(&mut self, loc: u32) -> &mut ShadowCell {
+        &mut self.cells[loc as usize]
+    }
+
+    /// Approximate heap bytes used.
+    pub fn space_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<ShadowCell>()
+    }
+}
+
+/// Shadow memory with per-cell locks for the parallel detector.
+pub struct SyncShadowMemory {
+    cells: Vec<Mutex<ShadowCell>>,
+}
+
+impl SyncShadowMemory {
+    /// Shadow memory covering `locations` locations.
+    pub fn new(locations: u32) -> Self {
+        SyncShadowMemory {
+            cells: (0..locations).map(|_| Mutex::new(ShadowCell::default())).collect(),
+        }
+    }
+
+    /// Number of shadowed locations.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no locations are shadowed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Lock and return a cell.
+    pub fn lock(&self, loc: u32) -> parking_lot::MutexGuard<'_, ShadowCell> {
+        self.cells[loc as usize].lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_start_empty() {
+        let shadow = ShadowMemory::new(8);
+        assert_eq!(shadow.len(), 8);
+        for loc in 0..8 {
+            assert!(shadow.cell(loc).writer.is_none());
+            assert!(shadow.cell(loc).reader.is_none());
+        }
+    }
+
+    #[test]
+    fn sync_cells_are_independent() {
+        let shadow = SyncShadowMemory::new(4);
+        {
+            let mut c0 = shadow.lock(0);
+            c0.writer = Some(ThreadId(7));
+            // Locking another cell while holding the first must not deadlock.
+            let mut c1 = shadow.lock(1);
+            c1.reader = Some(ThreadId(9));
+        }
+        assert_eq!(shadow.lock(0).writer, Some(ThreadId(7)));
+        assert_eq!(shadow.lock(1).reader, Some(ThreadId(9)));
+        assert_eq!(shadow.lock(2).writer, None);
+    }
+}

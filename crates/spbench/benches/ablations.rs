@@ -1,0 +1,221 @@
+//! Ablations of the design choices the paper discusses.
+//!
+//! * §2 / related work — order-maintenance backends: the O(1)-amortized
+//!   two-level list vs the simpler single-level list-labeling structure.
+//! * §5 footnote 8 / §7 — union-find heuristics: path compression + rank
+//!   (classical, serial SP-bags) vs rank only (what the concurrent local tier
+//!   must use).
+//! * §3 — the naive parallelization: one global lock around a shared SP-order
+//!   structure vs the two-tier SP-hybrid.
+//! * §4 — lock-free global-tier queries: retry counts under insertion load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsu::{DisjointSets, RankOnlyUnionFind, UnionFind};
+use forkrt::{ParallelVisitor, ParallelWalk, WalkConfig};
+use om::{OrderMaintenance, TagList, TwoLevelList};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmaint::{run_serial, SpOrder};
+use sphybrid::NaiveSharedSpOrder;
+use sptree::tree::{NodeId, ThreadId};
+use workloads::{Workload, WorkloadKind};
+
+/// Order-maintenance backends under the SP-order insertion pattern.
+fn ablation_om_backend(c: &mut Criterion) {
+    let w = Workload::build(WorkloadKind::RandomSp, 50_000, 1, 23);
+    let mut group = c.benchmark_group("ablation/om-backend");
+    group.sample_size(10);
+    group.bench_function("two-level", |b| {
+        b.iter(|| {
+            let alg: SpOrder<TwoLevelList> = run_serial(&w.tree);
+            std::hint::black_box(alg.relabel_count())
+        })
+    });
+    group.bench_function("single-level-taglist", |b| {
+        b.iter(|| {
+            let alg: SpOrder<TagList> = run_serial(&w.tree);
+            std::hint::black_box(alg.relabel_count())
+        })
+    });
+    group.finish();
+
+    // Raw structure microbenchmark: random inserts.
+    let mut group = c.benchmark_group("ablation/om-raw-insert");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("two-level", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut list, base) = TwoLevelList::new();
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut handles = vec![base];
+                for _ in 0..n {
+                    let at = handles[rng.gen_range(0..handles.len())];
+                    handles.push(list.insert_after(at));
+                }
+                std::hint::black_box(list.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("single-level", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut list, base) = TagList::new();
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut handles = vec![base];
+                for _ in 0..n {
+                    let at = handles[rng.gen_range(0..handles.len())];
+                    handles.push(list.insert_after(at));
+                }
+                std::hint::black_box(list.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Union-find heuristics under an SP-bags-like operation mix.
+fn ablation_dsu(c: &mut Criterion) {
+    let n = 200_000u32;
+    let mut group = c.benchmark_group("ablation/dsu");
+    group.sample_size(10);
+    group.bench_function("rank+path-compression", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::with_capacity(n as usize);
+            for _ in 0..n {
+                uf.make_set();
+            }
+            for i in 1..n {
+                uf.union(i - 1, i);
+                std::hint::black_box(uf.find(i / 2));
+            }
+            std::hint::black_box(uf.find_steps())
+        })
+    });
+    group.bench_function("rank-only", |b| {
+        b.iter(|| {
+            let mut uf = RankOnlyUnionFind::with_capacity(n as usize);
+            for _ in 0..n {
+                uf.make_set();
+            }
+            for i in 1..n {
+                uf.union(i - 1, i);
+                std::hint::black_box(uf.find(i / 2));
+            }
+            std::hint::black_box(uf.find_steps())
+        })
+    });
+    group.finish();
+}
+
+/// §3's naive parallelization (shared SP-order behind one lock) vs SP-hybrid,
+/// both running the same instrumented program with one query per thread.
+fn ablation_naive_lock(c: &mut Criterion) {
+    let w = Workload::build(WorkloadKind::Fib, 20_000, 1, 31);
+    let tree = &w.tree;
+    let workers = 8usize;
+
+    struct NaiveQuerying<'a, 't> {
+        naive: &'a NaiveSharedSpOrder<'t>,
+        n: u32,
+    }
+    impl ParallelVisitor for NaiveQuerying<'_, '_> {
+        fn enter_internal(&self, w: usize, node: NodeId, token: u64) {
+            self.naive.enter_internal(w, node, token);
+        }
+        fn execute_thread(&self, _w: usize, _n: NodeId, t: ThreadId, _token: u64) {
+            // One query per thread against an earlier thread, like a detector
+            // shadowing a single location per thread.
+            if t.0 > 0 {
+                std::hint::black_box(self.naive.precedes(ThreadId(t.0 / 2), t));
+            }
+            let _ = self.n;
+        }
+        fn steal(&self, t: usize, v: usize, p: NodeId, token: u64) -> forkrt::StealTokens {
+            self.naive.steal(t, v, p, token)
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation/naive-lock-vs-hybrid");
+    group.sample_size(10);
+    group.bench_function("naive-global-lock", |b| {
+        b.iter(|| {
+            let naive = NaiveSharedSpOrder::new(tree);
+            let vis = NaiveQuerying {
+                naive: &naive,
+                n: tree.num_threads() as u32,
+            };
+            let stats = ParallelWalk::new(tree, &vis, WalkConfig::with_workers(workers)).run(0);
+            std::hint::black_box(stats.steals)
+        })
+    });
+    group.bench_function("sp-hybrid", |b| {
+        b.iter(|| {
+            let (_h, stats) = sphybrid::run_hybrid(
+                tree,
+                sphybrid::HybridConfig::with_workers(workers),
+                |h, t, trace| {
+                    if t.0 > 0 {
+                        std::hint::black_box(h.precedes_current(ThreadId(t.0 / 2), trace));
+                    }
+                },
+            );
+            std::hint::black_box(stats.run.steals)
+        })
+    });
+    group.finish();
+}
+
+/// §4: lock-free query retries while insertions rebalance the structure.
+fn ablation_lockfree_queries(_c: &mut Criterion) {
+    use om::ConcurrentOmList;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (list, base) = ConcurrentOmList::with_capacity(1 << 18);
+    let list = Arc::new(list);
+    let mut chain = vec![base];
+    let mut prev = base;
+    for _ in 0..512 {
+        prev = list.insert_after(prev);
+        chain.push(prev);
+    }
+    let chain = Arc::new(chain);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for r in 0..6 {
+        let list = Arc::clone(&list);
+        let chain = Arc::clone(&chain);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut queries = 0u64;
+            let mut i = r;
+            while !stop.load(Ordering::Relaxed) {
+                let a = i % (chain.len() - 1);
+                std::hint::black_box(list.precedes(chain[a], chain[a + 1]));
+                queries += 1;
+                i += 13;
+            }
+            queries
+        }));
+    }
+    // Writer: force repeated rebalances of the dense region.
+    for _ in 0..150_000 {
+        list.insert_after(base);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let queries: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    let (rebalances, relabeled) = list.rebalance_stats();
+    println!(
+        "\n=== §4 lock-free query ablation === queries={queries} retries={} \
+         rebalances={rebalances} items-relabeled={relabeled} (retry rate {:.6}%)",
+        list.query_retry_count(),
+        100.0 * list.query_retry_count() as f64 / queries.max(1) as f64
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = ablation_om_backend, ablation_dsu, ablation_naive_lock, ablation_lockfree_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! The naive parallelization of SP-order the paper argues against (§3).
+//!
+//! Sharing the serial SP-order structure among processors and protecting every
+//! operation (insertion *and* query) with one global lock is correct — the
+//! insertions commute as long as parents are inserted before their children,
+//! which any unfolding order respects — but each operation may stall all P−1
+//! other processors, so the apparent work can blow up to Θ(P·T₁).  SP-hybrid's
+//! two-tier design exists precisely to avoid this.  This implementation is the
+//! baseline for the `ablation_naive_lock` benchmark; it also doubles as a
+//! second, independently-implemented parallel SP oracle in stress tests.
+
+use forkrt::{ParallelVisitor, StealTokens, Token};
+use om::{OmNode, OrderMaintenance, TwoLevelList};
+use parking_lot::Mutex;
+use sptree::tree::{NodeId, NodeKind, ParseTree, ThreadId};
+
+struct Inner {
+    eng: TwoLevelList,
+    heb: TwoLevelList,
+    node_eng: Vec<OmNode>,
+    node_heb: Vec<OmNode>,
+    inserted: Vec<bool>,
+    lock_acquisitions: u64,
+}
+
+/// Shared SP-order behind a single global lock.
+pub struct NaiveSharedSpOrder<'t> {
+    tree: &'t ParseTree,
+    inner: Mutex<Inner>,
+}
+
+impl<'t> NaiveSharedSpOrder<'t> {
+    /// Create the structure with the root already inserted.
+    pub fn new(tree: &'t ParseTree) -> Self {
+        let (mut eng, eng_base) = TwoLevelList::new();
+        let (mut heb, heb_base) = TwoLevelList::new();
+        let root_eng = eng.insert_after(eng_base);
+        let root_heb = heb.insert_after(heb_base);
+        let n = tree.num_nodes();
+        let mut node_eng = vec![eng_base; n];
+        let mut node_heb = vec![heb_base; n];
+        let mut inserted = vec![false; n];
+        node_eng[tree.root().index()] = root_eng;
+        node_heb[tree.root().index()] = root_heb;
+        inserted[tree.root().index()] = true;
+        NaiveSharedSpOrder {
+            tree,
+            inner: Mutex::new(Inner {
+                eng,
+                heb,
+                node_eng,
+                node_heb,
+                inserted,
+                lock_acquisitions: 0,
+            }),
+        }
+    }
+
+    /// Does thread `a` precede thread `b`?  Both must already be inserted
+    /// (i.e. their parents visited).  Takes the global lock.
+    pub fn precedes(&self, a: ThreadId, b: ThreadId) -> bool {
+        if a == b {
+            return false;
+        }
+        let na = self.tree.leaf_of(a);
+        let nb = self.tree.leaf_of(b);
+        let mut inner = self.inner.lock();
+        inner.lock_acquisitions += 1;
+        debug_assert!(inner.inserted[na.index()] && inner.inserted[nb.index()]);
+        let (ea, eb) = (inner.node_eng[na.index()], inner.node_eng[nb.index()]);
+        let (ha, hb) = (inner.node_heb[na.index()], inner.node_heb[nb.index()]);
+        inner.eng.precedes(ea, eb) && inner.heb.precedes(ha, hb)
+    }
+
+    /// Number of global-lock acquisitions so far (contention metric).
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.inner.lock().lock_acquisitions
+    }
+}
+
+impl ParallelVisitor for NaiveSharedSpOrder<'_> {
+    fn enter_internal(&self, _worker: usize, node: NodeId, _token: Token) {
+        let left = self.tree.left(node);
+        let right = self.tree.right(node);
+        let kind = self.tree.kind(node);
+        let mut inner = self.inner.lock();
+        inner.lock_acquisitions += 1;
+        let base = inner.node_eng[node.index()];
+        let eng = inner.eng.insert_after_many(base, 2);
+        inner.node_eng[left.index()] = eng[0];
+        inner.node_eng[right.index()] = eng[1];
+        let base = inner.node_heb[node.index()];
+        let heb = inner.heb.insert_after_many(base, 2);
+        match kind {
+            NodeKind::S => {
+                inner.node_heb[left.index()] = heb[0];
+                inner.node_heb[right.index()] = heb[1];
+            }
+            NodeKind::P => {
+                inner.node_heb[right.index()] = heb[0];
+                inner.node_heb[left.index()] = heb[1];
+            }
+            NodeKind::Leaf(_) => unreachable!(),
+        }
+        inner.inserted[left.index()] = true;
+        inner.inserted[right.index()] = true;
+    }
+
+    fn execute_thread(&self, _worker: usize, _node: NodeId, _thread: ThreadId, _token: Token) {
+        // The race detector (or benchmark kernel) layered on top performs the
+        // thread's work and queries; the structure itself has nothing to do.
+    }
+
+    fn steal(&self, _thief: usize, _victim: usize, _pnode: NodeId, token: Token) -> StealTokens {
+        // No trace machinery: the token is irrelevant, pass it through.
+        StealTokens {
+            right: token,
+            after: token,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkrt::{ParallelWalk, WalkConfig};
+    use parking_lot::Mutex as PLMutex;
+    use sptree::cilk::CilkProgram;
+    use sptree::generate::{fib_like, random_sp_ast};
+    use sptree::oracle::SpOracle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// A wrapper visitor that issues queries from each executing thread.
+    struct Querying<'a, 't> {
+        naive: &'a NaiveSharedSpOrder<'t>,
+        executed: Vec<AtomicBool>,
+        recorded: PLMutex<Vec<(ThreadId, ThreadId, bool)>>,
+    }
+
+    impl ParallelVisitor for Querying<'_, '_> {
+        fn enter_internal(&self, w: usize, node: NodeId, token: Token) {
+            self.naive.enter_internal(w, node, token);
+        }
+        fn execute_thread(&self, _w: usize, _node: NodeId, current: ThreadId, _token: Token) {
+            let mut answers = Vec::new();
+            for earlier in 0..self.executed.len() as u32 {
+                let earlier = ThreadId(earlier);
+                if earlier != current && self.executed[earlier.index()].load(Ordering::Acquire) {
+                    answers.push((earlier, current, self.naive.precedes(earlier, current)));
+                }
+            }
+            self.recorded.lock().extend(answers);
+            self.executed[current.index()].store(true, Ordering::Release);
+        }
+        fn steal(&self, t: usize, v: usize, p: NodeId, token: Token) -> StealTokens {
+            self.naive.steal(t, v, p, token)
+        }
+    }
+
+    fn check(tree: &ParseTree, workers: usize) {
+        let naive = NaiveSharedSpOrder::new(tree);
+        let vis = Querying {
+            naive: &naive,
+            executed: (0..tree.num_threads()).map(|_| AtomicBool::new(false)).collect(),
+            recorded: PLMutex::new(Vec::new()),
+        };
+        ParallelWalk::new(tree, &vis, WalkConfig::with_workers(workers)).run(0);
+        let oracle = SpOracle::new(tree);
+        for (a, b, ans) in vis.recorded.into_inner() {
+            assert_eq!(ans, oracle.precedes(a, b), "{a:?} vs {b:?}");
+        }
+        assert!(naive.lock_acquisitions() > 0);
+    }
+
+    #[test]
+    fn matches_oracle_serially() {
+        for seed in 0..4u64 {
+            check(&random_sp_ast(80, 0.5, seed).build(), 1);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_in_parallel() {
+        let tree = CilkProgram::new(fib_like(8, 1)).build_tree();
+        check(&tree, 4);
+        // Unlike SP-hybrid, the naive scheme works on arbitrary SP trees too,
+        // because it has no per-procedure trace machinery.
+        check(&random_sp_ast(300, 0.6, 11).build(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Traces: the unit the global tier orders.
+//!
+//! A *trace* is a set of threads that were executed by one processor between
+//! steals (paper §3).  The computation starts as a single trace; every steal
+//! splits the victim's trace `U` into five subtraces
+//! ⟨U⁽¹⁾, U⁽²⁾, U⁽³⁾, U⁽⁴⁾, U⁽⁵⁾⟩, where U⁽³⁾ aliases `U` (it keeps the
+//! victim's in-progress work), U⁽⁴⁾ receives the stolen right subtree and
+//! U⁽⁵⁾ the continuation after the join.  Only 4 new traces are created per
+//! steal, so |C| = 4s + 1 after s steals.
+
+use std::collections::HashMap;
+
+use om::ConcurrentOmNode;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// Identifier of a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TraceId(pub u32);
+
+impl TraceId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Encode as a scheduler token.
+    #[inline]
+    pub fn to_token(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Decode from a scheduler token.
+    #[inline]
+    pub fn from_token(token: u64) -> Self {
+        TraceId(token as u32)
+    }
+}
+
+/// Per-trace SP-bags state (paper §5), touched only by the worker currently
+/// executing the trace.
+#[derive(Default, Debug)]
+pub struct TraceLocal {
+    /// S-bag representative of each procedure that has threads in this trace.
+    pub sbag: HashMap<u32, u32>,
+    /// P-bag representative of each procedure (canonical Cilk form: one P-bag
+    /// per procedure suffices and is what makes `SPLIT` O(1)).
+    pub pbag: HashMap<u32, u32>,
+}
+
+/// Shared per-trace record.
+pub struct TraceState {
+    /// Handle of this trace in the global English order.
+    pub eng: ConcurrentOmNode,
+    /// Handle of this trace in the global Hebrew order.
+    pub heb: ConcurrentOmNode,
+    /// Local-tier SP-bags state of this trace.
+    pub local: Mutex<TraceLocal>,
+}
+
+/// Growable, concurrently readable arena of traces.
+pub struct TraceArena {
+    traces: RwLock<Vec<Arc<TraceState>>>,
+}
+
+impl TraceArena {
+    /// Create an arena containing just the initial trace.
+    pub fn new(root_eng: ConcurrentOmNode, root_heb: ConcurrentOmNode) -> (Self, TraceId) {
+        let root = Arc::new(TraceState {
+            eng: root_eng,
+            heb: root_heb,
+            local: Mutex::new(TraceLocal::default()),
+        });
+        (
+            TraceArena {
+                traces: RwLock::new(vec![root]),
+            },
+            TraceId(0),
+        )
+    }
+
+    /// Number of traces created so far (4·steals + 1).
+    pub fn len(&self) -> usize {
+        self.traces.read().len()
+    }
+
+    /// True if no traces exist (never: the root trace always exists).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch a trace record.
+    pub fn get(&self, id: TraceId) -> Arc<TraceState> {
+        Arc::clone(&self.traces.read()[id.index()])
+    }
+
+    /// Append a new trace and return its id.
+    pub fn push(&self, eng: ConcurrentOmNode, heb: ConcurrentOmNode) -> TraceId {
+        let mut traces = self.traces.write();
+        let id = TraceId(traces.len() as u32);
+        traces.push(Arc::new(TraceState {
+            eng,
+            heb,
+            local: Mutex::new(TraceLocal::default()),
+        }));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_starts_with_root_trace_and_grows() {
+        let (list, base) = om::ConcurrentOmList::with_capacity(16);
+        let extra = list.insert_after(base);
+        let (arena, root) = TraceArena::new(base, base);
+        assert_eq!(root, TraceId(0));
+        assert_eq!(arena.len(), 1);
+        let t1 = arena.push(extra, extra);
+        assert_eq!(t1, TraceId(1));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(t1).eng, extra);
+        assert_eq!(arena.get(root).eng, base);
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let t = TraceId(12345);
+        assert_eq!(TraceId::from_token(t.to_token()), t);
+    }
+
+    #[test]
+    fn trace_local_maps_start_empty() {
+        let (list, base) = om::ConcurrentOmList::with_capacity(4);
+        let _ = &list;
+        let (arena, root) = TraceArena::new(base, base);
+        let state = arena.get(root);
+        let local = state.local.lock();
+        assert!(local.sbag.is_empty());
+        assert!(local.pbag.is_empty());
+    }
+}

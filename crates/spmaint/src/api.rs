@@ -1,0 +1,155 @@
+//! Common interfaces of the serial SP-maintenance algorithms.
+//!
+//! Two query flavours exist, matching the paper:
+//!
+//! * [`SpQuery`] — answer the relation between **any** two already-executed
+//!   threads.  SP-order and the two label-based baselines provide this.
+//! * [`CurrentSpQuery`] — answer the relation between an already-executed
+//!   thread and the **currently executing** thread only.  These are the
+//!   weaker semantics of SP-bags (and of SP-hybrid), and they are exactly what
+//!   an on-the-fly race detector needs.
+//!
+//! Algorithms are built "on the fly" by feeding them the left-to-right walk of
+//! the parse tree through [`sptree::walk::TreeVisitor`]; [`OnTheFlySp`] adds
+//! the constructor and introspection the drivers and benchmarks need.
+
+use sptree::oracle::Relation;
+use sptree::tree::{ParseTree, ThreadId};
+use sptree::walk::{walk_visitor, TreeVisitor};
+
+/// Relation queries between two arbitrary already-executed threads.
+pub trait SpQuery {
+    /// Does `a` logically precede `b` (`a ≺ b`)?
+    fn precedes(&self, a: ThreadId, b: ThreadId) -> bool;
+
+    /// Do `a` and `b` operate logically in parallel (`a ∥ b`)?
+    fn parallel(&self, a: ThreadId, b: ThreadId) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Full relation between two threads.
+    fn relation(&self, a: ThreadId, b: ThreadId) -> Relation {
+        if a == b {
+            Relation::Same
+        } else if self.precedes(a, b) {
+            Relation::Precedes
+        } else if self.precedes(b, a) {
+            Relation::Follows
+        } else {
+            Relation::Parallel
+        }
+    }
+}
+
+/// Relation queries against the currently executing thread only.
+pub trait CurrentSpQuery {
+    /// Does `earlier` logically precede the currently executing thread?
+    fn precedes_current(&self, earlier: ThreadId) -> bool;
+
+    /// Does `earlier` operate logically in parallel with the currently
+    /// executing thread?
+    fn parallel_with_current(&self, earlier: ThreadId) -> bool {
+        !self.precedes_current(earlier)
+    }
+}
+
+/// Every algorithm that answers pair queries trivially also answers
+/// current-thread queries once told which thread is current; the serial
+/// drivers take care of that, so a blanket impl is not provided — instead the
+/// per-algorithm impls record the current thread in `visit_thread`.
+///
+/// An on-the-fly serial SP-maintenance algorithm.
+pub trait OnTheFlySp: TreeVisitor + CurrentSpQuery {
+    /// Create an instance sized for `tree`.
+    fn for_tree(tree: &ParseTree) -> Self
+    where
+        Self: Sized;
+
+    /// Human-readable algorithm name (used by benches and examples).
+    fn name(&self) -> &'static str;
+
+    /// Approximate heap bytes used by the maintenance structures
+    /// (the "space" column of Figure 3).
+    fn space_bytes(&self) -> usize;
+}
+
+/// Run `A` over the whole tree with a serial left-to-right walk and return the
+/// fully built structure (no queries issued during the walk).
+pub fn run_serial<A: OnTheFlySp>(tree: &ParseTree) -> A {
+    let mut alg = A::for_tree(tree);
+    walk_visitor(tree, &mut alg);
+    alg
+}
+
+/// Run `A` over the whole tree, invoking `on_thread(&alg, thread)` right after
+/// each thread is visited — i.e. while that thread is the currently executing
+/// one.  This is how a race detector uses the structure: it issues
+/// `precedes_current` queries for every shadowed memory access performed by
+/// the thread.
+pub fn run_serial_with_queries<A, F>(tree: &ParseTree, mut on_thread: F) -> A
+where
+    A: OnTheFlySp,
+    F: FnMut(&A, ThreadId),
+{
+    struct Driver<'a, A, F> {
+        alg: A,
+        on_thread: &'a mut F,
+    }
+    impl<A: OnTheFlySp, F: FnMut(&A, ThreadId)> TreeVisitor for Driver<'_, A, F> {
+        fn enter_internal(&mut self, tree: &ParseTree, node: sptree::tree::NodeId) {
+            self.alg.enter_internal(tree, node);
+        }
+        fn between_children(&mut self, tree: &ParseTree, node: sptree::tree::NodeId) {
+            self.alg.between_children(tree, node);
+        }
+        fn leave_internal(&mut self, tree: &ParseTree, node: sptree::tree::NodeId) {
+            self.alg.leave_internal(tree, node);
+        }
+        fn visit_thread(
+            &mut self,
+            tree: &ParseTree,
+            node: sptree::tree::NodeId,
+            thread: ThreadId,
+        ) {
+            self.alg.visit_thread(tree, node, thread);
+            (self.on_thread)(&self.alg, thread);
+        }
+    }
+    let mut driver = Driver {
+        alg: A::for_tree(tree),
+        on_thread: &mut on_thread,
+    };
+    walk_visitor(tree, &mut driver);
+    driver.alg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpOrder;
+    use sptree::generate::random_sp_ast;
+    use sptree::oracle::SpOracle;
+
+    #[test]
+    fn run_serial_with_queries_sees_threads_in_order() {
+        let tree = random_sp_ast(50, 0.5, 5).build();
+        let mut seen = Vec::new();
+        let _alg: SpOrder = run_serial_with_queries(&tree, |_alg, t| seen.push(t.index()));
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queries_during_walk_match_oracle_for_sp_order() {
+        let tree = random_sp_ast(60, 0.5, 6).build();
+        let oracle = SpOracle::new(&tree);
+        let _alg = run_serial_with_queries::<SpOrder, _>(&tree, |alg, current| {
+            for earlier in 0..current.index() as u32 {
+                let earlier = ThreadId(earlier);
+                assert_eq!(
+                    alg.precedes_current(earlier),
+                    oracle.precedes(earlier, current),
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,191 @@
+//! Building parse trees from a small series-parallel description language.
+//!
+//! An [`Ast`] is an n-ary description of a fork-join computation: `Seq` for
+//! series composition, `Par` for parallel composition, and `Thread` for a
+//! leaf with a given amount of work.  [`Ast::build`] lowers it into a full
+//! binary [`ParseTree`] (n-ary nodes are binarized right-leaning, and empty or
+//! singleton compositions are simplified), assigning [`ThreadId`]s in
+//! left-to-right order — i.e. serial execution order, matching the thread
+//! indices the paper uses (u₀, u₁, … in Figure 1).
+
+use crate::tree::{NodeId, NodeKind, ParseTree, ThreadId};
+
+/// Series-parallel program description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ast {
+    /// A thread performing the given amount of abstract work.
+    Thread(u64),
+    /// Series composition of the children, in order.
+    Seq(Vec<Ast>),
+    /// Parallel composition of the children.
+    Par(Vec<Ast>),
+}
+
+impl Ast {
+    /// A leaf thread with `work` abstract instructions.
+    pub fn leaf(work: u64) -> Ast {
+        Ast::Thread(work)
+    }
+
+    /// Series composition.
+    pub fn seq(children: Vec<Ast>) -> Ast {
+        Ast::Seq(children)
+    }
+
+    /// Parallel composition.
+    pub fn par(children: Vec<Ast>) -> Ast {
+        Ast::Par(children)
+    }
+
+    /// Number of leaves this description will produce (empty compositions
+    /// count as one empty thread).
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            Ast::Thread(_) => 1,
+            Ast::Seq(cs) | Ast::Par(cs) => {
+                if cs.is_empty() {
+                    1
+                } else {
+                    cs.iter().map(Ast::num_leaves).sum()
+                }
+            }
+        }
+    }
+
+    /// Lower this description to a full binary SP parse tree.
+    pub fn build(&self) -> ParseTree {
+        let mut b = Builder::default();
+        let root = b.lower(self);
+        ParseTree::from_parts(b.kinds, b.left, b.right, b.work, root)
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    kinds: Vec<NodeKind>,
+    left: Vec<NodeId>,
+    right: Vec<NodeId>,
+    work: Vec<u64>,
+}
+
+impl Builder {
+    fn leaf(&mut self, work: u64) -> NodeId {
+        let thread = ThreadId(self.work.len() as u32);
+        self.work.push(work);
+        self.push_node(NodeKind::Leaf(thread), NodeId::NONE, NodeId::NONE)
+    }
+
+    fn push_node(&mut self, kind: NodeKind, left: NodeId, right: NodeId) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.left.push(left);
+        self.right.push(right);
+        id
+    }
+
+    /// Lower `ast`, producing nodes; leaves are numbered in the order they are
+    /// encountered, which is left-to-right because children are lowered left
+    /// to right.
+    fn lower(&mut self, ast: &Ast) -> NodeId {
+        match ast {
+            Ast::Thread(w) => self.leaf(*w),
+            Ast::Seq(children) => self.lower_list(NodeKind::S, children),
+            Ast::Par(children) => self.lower_list(NodeKind::P, children),
+        }
+    }
+
+    /// Binarize an n-ary composition right-leaning:
+    /// `op(a, b, c)` becomes `op(a, op(b, c))`.
+    ///
+    /// Children must be lowered in left-to-right order so that thread ids come
+    /// out in serial execution order, so we lower each child first and then
+    /// stitch the internal nodes together from the right.
+    fn lower_list(&mut self, kind: NodeKind, children: &[Ast]) -> NodeId {
+        match children.len() {
+            0 => self.leaf(0), // empty composition: a single empty thread
+            1 => self.lower(&children[0]),
+            _ => {
+                let lowered: Vec<NodeId> = children.iter().map(|c| self.lower(c)).collect();
+                let mut acc = *lowered.last().unwrap();
+                for &child in lowered.iter().rev().skip(1) {
+                    acc = self.push_node(kind, child, acc);
+                }
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+
+    #[test]
+    fn binarization_is_right_leaning() {
+        let tree = Ast::seq(vec![Ast::leaf(1), Ast::leaf(2), Ast::leaf(3)]).build();
+        tree.check_invariants();
+        assert_eq!(tree.num_threads(), 3);
+        assert_eq!(tree.num_nodes(), 5);
+        let root = tree.root();
+        assert!(tree.kind(root).is_s());
+        assert!(tree.kind(tree.left(root)).is_leaf());
+        let right = tree.right(root);
+        assert!(tree.kind(right).is_s());
+        assert!(tree.kind(tree.left(right)).is_leaf());
+        assert!(tree.kind(tree.right(right)).is_leaf());
+    }
+
+    #[test]
+    fn thread_ids_follow_serial_order() {
+        let tree = Ast::par(vec![
+            Ast::seq(vec![Ast::leaf(10), Ast::leaf(20)]),
+            Ast::leaf(30),
+            Ast::seq(vec![Ast::leaf(40), Ast::leaf(50)]),
+        ])
+        .build();
+        tree.check_invariants();
+        assert_eq!(tree.num_threads(), 5);
+        for (i, w) in [10u64, 20, 30, 40, 50].iter().enumerate() {
+            assert_eq!(tree.work_of(ThreadId(i as u32)), *w);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_compositions_simplify() {
+        let tree = Ast::seq(vec![]).build();
+        assert_eq!(tree.num_threads(), 1);
+        assert_eq!(tree.work_of(ThreadId(0)), 0);
+
+        let tree = Ast::par(vec![Ast::leaf(7)]).build();
+        assert_eq!(tree.num_threads(), 1);
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(matches!(tree.kind(tree.root()), NodeKind::Leaf(_)));
+    }
+
+    #[test]
+    fn num_leaves_matches_built_tree() {
+        let ast = Ast::par(vec![
+            Ast::seq(vec![Ast::leaf(1), Ast::par(vec![])]),
+            Ast::leaf(1),
+        ]);
+        assert_eq!(ast.num_leaves(), ast.build().num_threads());
+    }
+
+    #[test]
+    fn full_binary_property_holds_for_mixed_trees() {
+        let ast = Ast::seq(vec![
+            Ast::leaf(1),
+            Ast::par(vec![
+                Ast::seq(vec![Ast::leaf(1), Ast::leaf(1), Ast::leaf(1)]),
+                Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+                Ast::leaf(1),
+            ]),
+            Ast::leaf(1),
+        ]);
+        let tree = ast.build();
+        tree.check_invariants();
+        // A full binary tree with n leaves has n - 1 internal nodes.
+        assert_eq!(tree.num_nodes(), 2 * tree.num_threads() - 1);
+    }
+}

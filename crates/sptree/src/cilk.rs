@@ -1,0 +1,230 @@
+//! Cilk-style programs and their canonical parse-tree form.
+//!
+//! A Cilk procedure is a series of *sync blocks*; each sync block interleaves
+//! serial work with `spawn`s of child procedures and ends with an implicit
+//! `sync` that joins every procedure spawned in the block (paper Figure 10).
+//! The canonical parse tree of a sync block is right-leaning: a spawn becomes
+//! a P-node whose left child is the spawned procedure's tree and whose right
+//! child is the rest of the block (the continuation); serial work becomes an
+//! S-node whose left child is the thread and whose right child is the rest of
+//! the block.  A procedure is the series composition of its sync blocks.
+//!
+//! Any SP parse tree can be represented as a Cilk parse tree with the same
+//! work and critical path (paper footnote 6); conversely every tree produced
+//! here is an ordinary [`ParseTree`], so all serial algorithms work on it
+//! unchanged.  The work-stealing runtime and SP-hybrid rely on the procedure
+//! annotations that [`ParseTree`] computes, which agree with the spawn
+//! structure described here because both use the "left child of a P-node is
+//! the spawned procedure" convention.
+
+use crate::builder::Ast;
+use crate::tree::ParseTree;
+
+/// One statement of a sync block.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Serial work of the given size (one thread).
+    Work(u64),
+    /// Spawn of a child procedure.
+    Spawn(Procedure),
+}
+
+/// A maximal region of a procedure terminated by a `sync`.
+#[derive(Clone, Debug, Default)]
+pub struct SyncBlock {
+    /// Statements of the block, in program order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl SyncBlock {
+    /// Empty sync block.
+    pub fn new() -> Self {
+        SyncBlock::default()
+    }
+
+    /// Append serial work.
+    pub fn work(mut self, amount: u64) -> Self {
+        self.stmts.push(Stmt::Work(amount));
+        self
+    }
+
+    /// Append a spawn.
+    pub fn spawn(mut self, child: Procedure) -> Self {
+        self.stmts.push(Stmt::Spawn(child));
+        self
+    }
+
+    fn to_ast(&self) -> Ast {
+        // Right-leaning canonical lowering.
+        let mut acc = Ast::leaf(0); // the (empty) thread that reaches the sync
+        for stmt in self.stmts.iter().rev() {
+            acc = match stmt {
+                Stmt::Work(w) => Ast::seq(vec![Ast::leaf(*w), acc]),
+                Stmt::Spawn(proc) => Ast::par(vec![proc.to_ast(), acc]),
+            };
+        }
+        acc
+    }
+}
+
+/// A Cilk procedure: a series of sync blocks.
+#[derive(Clone, Debug, Default)]
+pub struct Procedure {
+    /// Sync blocks, executed in series.
+    pub sync_blocks: Vec<SyncBlock>,
+}
+
+impl Procedure {
+    /// Empty procedure.
+    pub fn new() -> Self {
+        Procedure::default()
+    }
+
+    /// Append a sync block.
+    pub fn block(mut self, block: SyncBlock) -> Self {
+        self.sync_blocks.push(block);
+        self
+    }
+
+    /// Convenience: a procedure with a single sync block.
+    pub fn single(block: SyncBlock) -> Self {
+        Procedure {
+            sync_blocks: vec![block],
+        }
+    }
+
+    /// Canonical series-parallel description of this procedure.
+    pub fn to_ast(&self) -> Ast {
+        match self.sync_blocks.len() {
+            0 => Ast::leaf(0),
+            1 => self.sync_blocks[0].to_ast(),
+            _ => Ast::seq(self.sync_blocks.iter().map(|b| b.to_ast()).collect()),
+        }
+    }
+
+    /// Total number of spawns in this procedure and all descendants.
+    pub fn num_spawns(&self) -> usize {
+        self.sync_blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .map(|s| match s {
+                Stmt::Work(_) => 0,
+                Stmt::Spawn(p) => 1 + p.num_spawns(),
+            })
+            .sum()
+    }
+}
+
+/// A whole Cilk program (its `main` procedure).
+#[derive(Clone, Debug, Default)]
+pub struct CilkProgram {
+    /// The entry procedure.
+    pub main: Procedure,
+}
+
+impl CilkProgram {
+    /// Wrap a procedure as a program.
+    pub fn new(main: Procedure) -> Self {
+        CilkProgram { main }
+    }
+
+    /// Canonical SP description of the program.
+    pub fn to_ast(&self) -> Ast {
+        self.main.to_ast()
+    }
+
+    /// Build the canonical parse tree of the program.
+    pub fn build_tree(&self) -> ParseTree {
+        self.to_ast().build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{Relation, SpOracle};
+    use crate::tree::ThreadId;
+
+    /// fib(n)-style program: spawn two children, then combine.
+    fn fib_proc(n: u32) -> Procedure {
+        if n < 2 {
+            return Procedure::single(SyncBlock::new().work(1));
+        }
+        Procedure::single(
+            SyncBlock::new()
+                .work(1)
+                .spawn(fib_proc(n - 1))
+                .spawn(fib_proc(n - 2))
+                .work(1),
+        )
+    }
+
+    #[test]
+    fn empty_procedure_is_one_empty_thread() {
+        let tree = CilkProgram::new(Procedure::new()).build_tree();
+        assert_eq!(tree.num_threads(), 1);
+        assert_eq!(tree.work_of(ThreadId(0)), 0);
+    }
+
+    #[test]
+    fn single_block_work_and_spawn_structure() {
+        // main: u0; spawn child(u_c); u1; sync
+        let child = Procedure::single(SyncBlock::new().work(7));
+        let main = Procedure::single(SyncBlock::new().work(1).spawn(child).work(2));
+        let tree = CilkProgram::new(main).build_tree();
+        tree.check_invariants();
+        // Threads in serial order: u0(1), child(7), u1(2), sync-empty(0),
+        // plus the child's own trailing empty thread.
+        let works: Vec<u64> = tree.thread_ids().map(|t| tree.work_of(t)).collect();
+        assert_eq!(works.iter().sum::<u64>(), 10);
+        let oracle = SpOracle::new(&tree);
+        // Thread 0 (u0) precedes everything else.
+        for t in 1..tree.num_threads() as u32 {
+            assert_eq!(oracle.relation(ThreadId(0), ThreadId(t)), Relation::Precedes);
+        }
+        // The child's work thread is parallel to the continuation thread u1.
+        // Find them by work amount.
+        let child_t = tree.thread_ids().find(|&t| tree.work_of(t) == 7).unwrap();
+        let cont_t = tree.thread_ids().find(|&t| tree.work_of(t) == 2).unwrap();
+        assert_eq!(oracle.relation(child_t, cont_t), Relation::Parallel);
+    }
+
+    #[test]
+    fn spawned_children_of_same_block_are_parallel() {
+        // main: spawn a(3); spawn b(5); sync
+        let a = Procedure::single(SyncBlock::new().work(3));
+        let b = Procedure::single(SyncBlock::new().work(5));
+        let main = Procedure::single(SyncBlock::new().spawn(a).spawn(b));
+        let tree = CilkProgram::new(main).build_tree();
+        let oracle = SpOracle::new(&tree);
+        let ta = tree.thread_ids().find(|&t| tree.work_of(t) == 3).unwrap();
+        let tb = tree.thread_ids().find(|&t| tree.work_of(t) == 5).unwrap();
+        assert_eq!(oracle.relation(ta, tb), Relation::Parallel);
+    }
+
+    #[test]
+    fn sync_blocks_are_serialized() {
+        // main: { spawn a(3); sync } { spawn b(5); sync }
+        let a = Procedure::single(SyncBlock::new().work(3));
+        let b = Procedure::single(SyncBlock::new().work(5));
+        let main = Procedure::new()
+            .block(SyncBlock::new().spawn(a))
+            .block(SyncBlock::new().spawn(b));
+        let tree = CilkProgram::new(main).build_tree();
+        let oracle = SpOracle::new(&tree);
+        let ta = tree.thread_ids().find(|&t| tree.work_of(t) == 3).unwrap();
+        let tb = tree.thread_ids().find(|&t| tree.work_of(t) == 5).unwrap();
+        assert_eq!(oracle.relation(ta, tb), Relation::Precedes);
+    }
+
+    #[test]
+    fn fib_program_has_expected_counts() {
+        let program = CilkProgram::new(fib_proc(6));
+        let spawns = program.main.num_spawns();
+        let tree = program.build_tree();
+        tree.check_invariants();
+        assert_eq!(tree.num_pnodes(), spawns);
+        // One procedure per spawn plus the root.
+        assert_eq!(tree.num_procs(), spawns + 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The computation-dag view of a parse tree, and work/span metrics.
+//!
+//! The paper's Figure 1 draws a fork-join execution as a dag whose edges are
+//! threads and whose vertices are forks (one in-edge, two out-edges) and joins
+//! (two in-edges, one out-edge); Figure 2 is the equivalent parse tree.
+//! [`ComputationDag::from_tree`] performs that correspondence in the other
+//! direction, which the `tests/paper_example.rs` integration test uses to
+//! check that our encoding of the paper's example round-trips.
+//!
+//! [`WorkSpan`] computes the two quantities the performance theorems are
+//! stated in: the *work* T₁ (total instructions) and the *critical-path
+//! length* T∞ (the longest chain of serially dependent instructions).
+
+use crate::tree::{NodeId, NodeKind, ParseTree, ThreadId};
+
+/// Kind of a dag vertex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VertexKind {
+    /// Start of the whole computation.
+    Source,
+    /// End of the whole computation.
+    Sink,
+    /// A fork: one incoming edge, two outgoing edges.
+    Fork,
+    /// A join: two incoming edges, one outgoing edge.
+    Join,
+}
+
+/// A dag edge: one thread running from vertex `from` to vertex `to`.
+#[derive(Clone, Copy, Debug)]
+pub struct DagEdge {
+    /// Thread this edge represents (`None` for the zero-work connector edges
+    /// introduced by S-compositions).
+    pub thread: Option<ThreadId>,
+    /// Source vertex index.
+    pub from: usize,
+    /// Destination vertex index.
+    pub to: usize,
+    /// Work carried by the edge.
+    pub work: u64,
+}
+
+/// Computation dag equivalent to a parse tree (paper Figure 1).
+#[derive(Clone, Debug)]
+pub struct ComputationDag {
+    /// Vertex kinds; index 0 is the source, index 1 the sink.
+    pub vertices: Vec<VertexKind>,
+    /// Edges (threads and connectors).
+    pub edges: Vec<DagEdge>,
+}
+
+impl ComputationDag {
+    /// Build the dag for `tree`.
+    pub fn from_tree(tree: &ParseTree) -> Self {
+        let mut dag = ComputationDag {
+            vertices: vec![VertexKind::Source, VertexKind::Sink],
+            edges: Vec::new(),
+        };
+        dag.lower(tree, tree.root(), 0, 1);
+        dag
+    }
+
+    fn new_vertex(&mut self, kind: VertexKind) -> usize {
+        self.vertices.push(kind);
+        self.vertices.len() - 1
+    }
+
+    /// Lower the subtree rooted at `node` so that it runs between dag vertices
+    /// `from` and `to`.  Iterative over an explicit work list to support very
+    /// deep trees.
+    fn lower(&mut self, tree: &ParseTree, node: NodeId, from: usize, to: usize) {
+        let mut work = vec![(node, from, to)];
+        while let Some((node, from, to)) = work.pop() {
+            match tree.kind(node) {
+                NodeKind::Leaf(t) => {
+                    self.edges.push(DagEdge {
+                        thread: Some(t),
+                        from,
+                        to,
+                        work: tree.work_of(t),
+                    });
+                }
+                NodeKind::S => {
+                    // left runs from `from` to a fresh midpoint, right from the
+                    // midpoint to `to`.  The midpoint is not a fork or a join;
+                    // represent it as a join with a single in/out edge pair by
+                    // reusing Join (degenerate), which keeps the vertex set small.
+                    let mid = self.new_vertex(VertexKind::Join);
+                    work.push((tree.right(node), mid, to));
+                    work.push((tree.left(node), from, mid));
+                }
+                NodeKind::P => {
+                    let fork = self.new_vertex(VertexKind::Fork);
+                    let join = self.new_vertex(VertexKind::Join);
+                    self.edges.push(DagEdge {
+                        thread: None,
+                        from,
+                        to: fork,
+                        work: 0,
+                    });
+                    self.edges.push(DagEdge {
+                        thread: None,
+                        from: join,
+                        to,
+                        work: 0,
+                    });
+                    work.push((tree.right(node), fork, join));
+                    work.push((tree.left(node), fork, join));
+                }
+            }
+        }
+    }
+
+    /// Number of fork vertices.
+    pub fn num_forks(&self) -> usize {
+        self.vertices
+            .iter()
+            .filter(|v| matches!(v, VertexKind::Fork))
+            .count()
+    }
+
+    /// Number of thread edges (excludes connector edges).
+    pub fn num_thread_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.thread.is_some()).count()
+    }
+
+    /// Longest path from source to sink by total edge work, computed over the
+    /// dag itself (used to cross-check [`WorkSpan`]).
+    pub fn longest_path_work(&self) -> u64 {
+        // The dag is acyclic by construction; process vertices in an order
+        // where all predecessors come first, via repeated relaxation (small
+        // graphs only — this is a test aid, not a hot path).
+        let n = self.vertices.len();
+        let mut dist = vec![0u64; n];
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds <= n + 1 {
+            changed = false;
+            for e in &self.edges {
+                let cand = dist[e.from] + e.work;
+                if cand > dist[e.to] {
+                    dist[e.to] = cand;
+                    changed = true;
+                }
+            }
+            rounds += 1;
+        }
+        dist[1]
+    }
+}
+
+/// Work (T₁) and critical-path length (T∞) of a parse tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WorkSpan {
+    /// Total work T₁: the sum of all thread work.
+    pub work: u64,
+    /// Critical-path length T∞: the maximum over root-to-sink serial chains.
+    pub span: u64,
+}
+
+impl WorkSpan {
+    /// Compute work and span for a tree with an iterative post-order pass.
+    pub fn of(tree: &ParseTree) -> WorkSpan {
+        let n = tree.num_nodes();
+        let mut work = vec![0u64; n];
+        let mut span = vec![0u64; n];
+        // Post-order: children before parents.
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![tree.root()];
+        while let Some(node) = stack.pop() {
+            order.push(node);
+            if !tree.kind(node).is_leaf() {
+                stack.push(tree.left(node));
+                stack.push(tree.right(node));
+            }
+        }
+        for &node in order.iter().rev() {
+            let i = node.index();
+            match tree.kind(node) {
+                NodeKind::Leaf(t) => {
+                    work[i] = tree.work_of(t);
+                    span[i] = tree.work_of(t);
+                }
+                NodeKind::S => {
+                    let l = tree.left(node).index();
+                    let r = tree.right(node).index();
+                    work[i] = work[l] + work[r];
+                    span[i] = span[l] + span[r];
+                }
+                NodeKind::P => {
+                    let l = tree.left(node).index();
+                    let r = tree.right(node).index();
+                    work[i] = work[l] + work[r];
+                    span[i] = span[l].max(span[r]);
+                }
+            }
+        }
+        WorkSpan {
+            work: work[tree.root().index()],
+            span: span[tree.root().index()],
+        }
+    }
+
+    /// The parallelism T₁ / T∞ (0 if the span is 0).
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Ast;
+    use crate::generate::random_sp_ast;
+
+    #[test]
+    fn serial_chain_work_equals_span() {
+        let tree = Ast::seq((0..100).map(|_| Ast::leaf(3)).collect()).build();
+        let ws = WorkSpan::of(&tree);
+        assert_eq!(ws.work, 300);
+        assert_eq!(ws.span, 300);
+        assert!((ws.parallelism() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_parallel_has_logarithmic_span() {
+        // A balanced binary P-tree over 64 unit threads: span = 1.
+        fn balanced(n: usize) -> Ast {
+            if n == 1 {
+                Ast::leaf(1)
+            } else {
+                Ast::par(vec![balanced(n / 2), balanced(n - n / 2)])
+            }
+        }
+        let tree = balanced(64).build();
+        let ws = WorkSpan::of(&tree);
+        assert_eq!(ws.work, 64);
+        assert_eq!(ws.span, 1);
+        assert!((ws.parallelism() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_tree_span() {
+        // S(P(3, 5), 2): span = max(3,5) + 2 = 7, work = 10.
+        let tree = Ast::seq(vec![
+            Ast::par(vec![Ast::leaf(3), Ast::leaf(5)]),
+            Ast::leaf(2),
+        ])
+        .build();
+        let ws = WorkSpan::of(&tree);
+        assert_eq!(ws.work, 10);
+        assert_eq!(ws.span, 7);
+    }
+
+    #[test]
+    fn dag_longest_path_matches_workspan() {
+        for seed in 0..6u64 {
+            let tree = random_sp_ast(60, 0.5, seed).build();
+            let ws = WorkSpan::of(&tree);
+            let dag = ComputationDag::from_tree(&tree);
+            assert_eq!(dag.longest_path_work(), ws.span, "seed {seed}");
+            let total: u64 = dag.edges.iter().map(|e| e.work).sum();
+            assert_eq!(total, ws.work);
+        }
+    }
+
+    #[test]
+    fn dag_structure_counts() {
+        let tree = Ast::par(vec![
+            Ast::seq(vec![Ast::leaf(1), Ast::leaf(1)]),
+            Ast::leaf(1),
+        ])
+        .build();
+        let dag = ComputationDag::from_tree(&tree);
+        assert_eq!(dag.num_forks(), tree.num_pnodes());
+        assert_eq!(dag.num_thread_edges(), tree.num_threads());
+    }
+}

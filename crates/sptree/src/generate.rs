@@ -1,0 +1,218 @@
+//! Seeded random generators for SP parse trees and Cilk programs.
+//!
+//! The benchmark harness and the property tests need families of fork-join
+//! programs whose size, parallelism, fork count and nesting depth can be
+//! controlled.  Everything here is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::Ast;
+use crate::cilk::{Procedure, SyncBlock};
+
+/// Random SP description with exactly `leaves` threads.
+///
+/// Each internal split is a P-node with probability `p_prob` (otherwise an
+/// S-node), and the split point is uniform, giving trees with a mix of depths
+/// and shapes.  Thread work is 1.
+pub fn random_sp_ast(leaves: usize, p_prob: f64, seed: u64) -> Ast {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen_subtree(leaves.max(1), p_prob, &mut rng)
+}
+
+fn gen_subtree(leaves: usize, p_prob: f64, rng: &mut StdRng) -> Ast {
+    // Iterative construction via an explicit stack would complicate the
+    // two-child assembly; recursion depth is O(leaves) only for adversarial
+    // splits, and the expected depth is O(log leaves) with uniform splits.
+    // We bound recursion by chunking very large requests into balanced halves.
+    if leaves == 1 {
+        return Ast::leaf(1);
+    }
+    let split = if leaves > 4096 {
+        leaves / 2
+    } else {
+        rng.gen_range(1..leaves)
+    };
+    let left = gen_subtree(split, p_prob, rng);
+    let right = gen_subtree(leaves - split, p_prob, rng);
+    if rng.gen_bool(p_prob) {
+        Ast::par(vec![left, right])
+    } else {
+        Ast::seq(vec![left, right])
+    }
+}
+
+/// Balanced binary parallel composition of `leaves` unit threads — the
+/// maximally parallel workload (T∞ = 1 thread).
+pub fn balanced_parallel(leaves: usize, work_per_thread: u64) -> Ast {
+    fn go(n: usize, w: u64) -> Ast {
+        if n == 1 {
+            Ast::leaf(w)
+        } else {
+            Ast::par(vec![go(n / 2, w), go(n - n / 2, w)])
+        }
+    }
+    go(leaves.max(1), work_per_thread)
+}
+
+/// Serial chain of `leaves` threads — zero parallelism.
+pub fn serial_chain(leaves: usize, work_per_thread: u64) -> Ast {
+    Ast::seq((0..leaves.max(1)).map(|_| Ast::leaf(work_per_thread)).collect())
+}
+
+/// A left-deep chain of P-nodes of the given depth: maximizes the P-nesting
+/// depth `d` of Figure 3 (the offset-span label length).
+pub fn left_deep_parallel(depth: usize, work_per_thread: u64) -> Ast {
+    let mut ast = Ast::leaf(work_per_thread);
+    for _ in 0..depth {
+        ast = Ast::par(vec![ast, Ast::leaf(work_per_thread)]);
+    }
+    ast
+}
+
+/// A parallel loop that spawns each iteration in sequence, Cilk-style
+/// (`for i { spawn body(i) } sync`): after binarization this is a
+/// right-leaning chain of P-nodes, so both the fork count and the P-nesting
+/// depth equal the iteration count.  Use [`balanced_parallel`] for a
+/// divide-and-conquer loop whose nesting depth is only logarithmic.
+pub fn flat_parallel_loop(iterations: usize, work_per_iteration: u64) -> Ast {
+    Ast::par(
+        (0..iterations.max(1))
+            .map(|_| Ast::leaf(work_per_iteration))
+            .collect(),
+    )
+}
+
+/// Parameters for [`random_cilk_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct CilkGenParams {
+    /// Maximum spawn nesting depth.
+    pub max_depth: u32,
+    /// Sync blocks per procedure (1..=this).
+    pub max_blocks: u32,
+    /// Statements per sync block (1..=this).
+    pub max_stmts: u32,
+    /// Probability that a statement is a spawn (vs serial work) while below
+    /// the depth limit.
+    pub spawn_prob: f64,
+    /// Work of each serial statement.
+    pub work: u64,
+}
+
+impl Default for CilkGenParams {
+    fn default() -> Self {
+        CilkGenParams {
+            max_depth: 6,
+            max_blocks: 2,
+            max_stmts: 4,
+            spawn_prob: 0.5,
+            work: 4,
+        }
+    }
+}
+
+/// Random Cilk-style procedure tree (deterministic given the seed).
+pub fn random_cilk_program(params: CilkGenParams, seed: u64) -> Procedure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen_proc(&params, 0, &mut rng)
+}
+
+fn gen_proc(params: &CilkGenParams, depth: u32, rng: &mut StdRng) -> Procedure {
+    let mut proc = Procedure::new();
+    let blocks = rng.gen_range(1..=params.max_blocks.max(1));
+    for _ in 0..blocks {
+        let mut block = SyncBlock::new();
+        let stmts = rng.gen_range(1..=params.max_stmts.max(1));
+        for _ in 0..stmts {
+            if depth < params.max_depth && rng.gen_bool(params.spawn_prob) {
+                block = block.spawn(gen_proc(params, depth + 1, rng));
+            } else {
+                block = block.work(params.work);
+            }
+        }
+        proc = proc.block(block);
+    }
+    proc
+}
+
+/// Divide-and-conquer program in the style of `fib(n)`: each procedure spawns
+/// two children and does `work` serial work before and after the sync.
+pub fn fib_like(depth: u32, work: u64) -> Procedure {
+    if depth == 0 {
+        return Procedure::single(SyncBlock::new().work(work));
+    }
+    Procedure::new()
+        .block(
+            SyncBlock::new()
+                .work(work)
+                .spawn(fib_like(depth - 1, work))
+                .spawn(fib_like(depth.saturating_sub(2), work)),
+        )
+        .block(SyncBlock::new().work(work))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::WorkSpan;
+
+    #[test]
+    fn random_ast_has_requested_leaf_count() {
+        for (leaves, seed) in [(1usize, 0u64), (2, 1), (17, 2), (256, 3), (1000, 4)] {
+            let tree = random_sp_ast(leaves, 0.5, seed).build();
+            assert_eq!(tree.num_threads(), leaves);
+            tree.check_invariants();
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_sp_ast(100, 0.5, 42);
+        let b = random_sp_ast(100, 0.5, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p_probability_extremes() {
+        let all_serial = random_sp_ast(64, 0.0, 9).build();
+        assert_eq!(all_serial.num_pnodes(), 0);
+        let all_parallel = random_sp_ast(64, 1.0, 9).build();
+        assert_eq!(all_parallel.num_snodes(), 0);
+        assert_eq!(all_parallel.num_pnodes(), 63);
+    }
+
+    #[test]
+    fn shape_helpers_have_expected_metrics() {
+        let flat = flat_parallel_loop(128, 10).build();
+        let ws = WorkSpan::of(&flat);
+        assert_eq!(ws.work, 1280);
+        assert_eq!(ws.span, 10);
+
+        let chain = serial_chain(128, 10).build();
+        let ws = WorkSpan::of(&chain);
+        assert_eq!(ws.work, 1280);
+        assert_eq!(ws.span, 1280);
+
+        let deep = left_deep_parallel(50, 1).build();
+        assert_eq!(deep.max_p_nesting(), 50);
+    }
+
+    #[test]
+    fn fib_like_is_balanced_divide_and_conquer() {
+        let tree = crate::cilk::CilkProgram::new(fib_like(8, 2)).build_tree();
+        tree.check_invariants();
+        let ws = WorkSpan::of(&tree);
+        assert!(ws.work > ws.span, "fib tree should have parallelism");
+        assert!(tree.num_pnodes() > 20);
+    }
+
+    #[test]
+    fn random_cilk_program_builds_valid_trees() {
+        for seed in 0..5u64 {
+            let proc = random_cilk_program(CilkGenParams::default(), seed);
+            let tree = crate::cilk::CilkProgram::new(proc).build_tree();
+            tree.check_invariants();
+            assert!(tree.num_threads() >= 1);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The arena-based SP parse tree.
+//!
+//! A [`ParseTree`] is a full binary tree (every internal node has exactly two
+//! children, as assumed without loss of generality by the paper) stored in a
+//! flat arena and addressed by [`NodeId`] handles.  Leaves carry a
+//! [`ThreadId`] and an amount of *work* (abstract instruction count) used by
+//! the dag metrics and by the synthetic workloads.
+//!
+//! Every node is also annotated with the *procedure* it belongs to under the
+//! canonical Cilk interpretation (paper Figure 10): the left child of a P-node
+//! is the body of a freshly spawned procedure, while the right child (the
+//! continuation) and both children of an S-node stay in the parent's
+//! procedure.  The SP-bags algorithm and the SP-hybrid local tier rely on this
+//! annotation.
+
+/// Handle of a parse-tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a thread (a parse-tree leaf), numbered in left-to-right
+/// (serial execution) order starting from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a procedure under the canonical Cilk interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ProcId(pub u32);
+
+impl NodeId {
+    /// Sentinel meaning "no node".
+    pub const NONE: NodeId = NodeId(u32::MAX);
+
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Is this the sentinel?
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
+impl ThreadId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProcId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Kind of a parse-tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Series composition: left subtree executes before right subtree.
+    S,
+    /// Parallel composition: subtrees execute logically in parallel.
+    P,
+    /// A thread (leaf).
+    Leaf(ThreadId),
+}
+
+impl NodeKind {
+    /// Is this an internal S-node?
+    #[inline]
+    pub fn is_s(self) -> bool {
+        matches!(self, NodeKind::S)
+    }
+    /// Is this an internal P-node?
+    #[inline]
+    pub fn is_p(self) -> bool {
+        matches!(self, NodeKind::P)
+    }
+    /// Is this a leaf?
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        matches!(self, NodeKind::Leaf(_))
+    }
+}
+
+/// Per-procedure bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcInfo {
+    /// Procedure that spawned this one (`ProcId(0)` is the root procedure and
+    /// is its own parent).
+    pub parent: ProcId,
+    /// The P-node whose left subtree is this procedure's body
+    /// (`NodeId::NONE` for the root procedure).
+    pub spawn_site: NodeId,
+    /// Root node of this procedure's body.
+    pub body: NodeId,
+}
+
+/// An SP parse tree.
+#[derive(Clone, Debug)]
+pub struct ParseTree {
+    kinds: Vec<NodeKind>,
+    left: Vec<NodeId>,
+    right: Vec<NodeId>,
+    parent: Vec<NodeId>,
+    depth: Vec<u32>,
+    proc_of: Vec<ProcId>,
+    /// For a P-node, the procedure spawned into its left subtree.
+    spawned_proc: Vec<ProcId>,
+    procs: Vec<ProcInfo>,
+    /// Leaf node of each thread, indexed by `ThreadId`.
+    thread_leaf: Vec<NodeId>,
+    /// Work (abstract instructions) of each thread.
+    thread_work: Vec<u64>,
+    root: NodeId,
+}
+
+impl ParseTree {
+    pub(crate) fn from_parts(
+        kinds: Vec<NodeKind>,
+        left: Vec<NodeId>,
+        right: Vec<NodeId>,
+        thread_work: Vec<u64>,
+        root: NodeId,
+    ) -> Self {
+        let n = kinds.len();
+        let mut tree = ParseTree {
+            kinds,
+            left,
+            right,
+            parent: vec![NodeId::NONE; n],
+            depth: vec![0; n],
+            proc_of: vec![ProcId(0); n],
+            spawned_proc: vec![ProcId(u32::MAX); n],
+            procs: Vec::new(),
+            thread_leaf: Vec::new(),
+            thread_work,
+            root,
+        };
+        tree.finish();
+        tree
+    }
+
+    /// Compute parents, depths, procedure annotations and the thread-leaf
+    /// table with an iterative traversal.
+    fn finish(&mut self) {
+        self.procs.push(ProcInfo {
+            parent: ProcId(0),
+            spawn_site: NodeId::NONE,
+            body: self.root,
+        });
+        let mut thread_leaf: Vec<(ThreadId, NodeId)> = Vec::new();
+        // Stack of (node, parent, depth, proc).
+        let mut stack: Vec<(NodeId, NodeId, u32, ProcId)> =
+            vec![(self.root, NodeId::NONE, 0, ProcId(0))];
+        while let Some((node, parent, depth, proc)) = stack.pop() {
+            let i = node.index();
+            self.parent[i] = parent;
+            self.depth[i] = depth;
+            self.proc_of[i] = proc;
+            match self.kinds[i] {
+                NodeKind::Leaf(t) => thread_leaf.push((t, node)),
+                NodeKind::S => {
+                    stack.push((self.right[i], node, depth + 1, proc));
+                    stack.push((self.left[i], node, depth + 1, proc));
+                }
+                NodeKind::P => {
+                    // Left child = body of a freshly spawned procedure.
+                    let child_proc = ProcId(self.procs.len() as u32);
+                    self.procs.push(ProcInfo {
+                        parent: proc,
+                        spawn_site: node,
+                        body: self.left[i],
+                    });
+                    self.spawned_proc[i] = child_proc;
+                    stack.push((self.right[i], node, depth + 1, proc));
+                    stack.push((self.left[i], node, depth + 1, child_proc));
+                }
+            }
+        }
+        thread_leaf.sort_by_key(|&(t, _)| t);
+        for (expect, &(t, _)) in thread_leaf.iter().enumerate() {
+            assert_eq!(
+                t.index(),
+                expect,
+                "thread ids must be dense and in left-to-right order"
+            );
+        }
+        self.thread_leaf = thread_leaf.into_iter().map(|(_, n)| n).collect();
+        assert_eq!(self.thread_leaf.len(), self.thread_work.len());
+    }
+
+    /// Root node of the tree.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Kind of `node`.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// Left child of an internal node.
+    #[inline]
+    pub fn left(&self, node: NodeId) -> NodeId {
+        self.left[node.index()]
+    }
+
+    /// Right child of an internal node.
+    #[inline]
+    pub fn right(&self, node: NodeId) -> NodeId {
+        self.right[node.index()]
+    }
+
+    /// Parent of `node` (`NodeId::NONE` for the root).
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        self.parent[node.index()]
+    }
+
+    /// Depth of `node` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depth[node.index()]
+    }
+
+    /// Procedure `node` belongs to under the canonical Cilk interpretation.
+    #[inline]
+    pub fn proc_of(&self, node: NodeId) -> ProcId {
+        self.proc_of[node.index()]
+    }
+
+    /// For a P-node, the procedure spawned into its left subtree.
+    #[inline]
+    pub fn spawned_proc(&self, pnode: NodeId) -> ProcId {
+        debug_assert!(self.kind(pnode).is_p());
+        self.spawned_proc[pnode.index()]
+    }
+
+    /// Bookkeeping record of a procedure.
+    #[inline]
+    pub fn proc_info(&self, proc: ProcId) -> ProcInfo {
+        self.procs[proc.index()]
+    }
+
+    /// Number of procedures (spawns + 1).
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Leaf node of `thread`.
+    #[inline]
+    pub fn leaf_of(&self, thread: ThreadId) -> NodeId {
+        self.thread_leaf[thread.index()]
+    }
+
+    /// Thread of a leaf node, if `node` is a leaf.
+    #[inline]
+    pub fn thread_of(&self, node: NodeId) -> Option<ThreadId> {
+        match self.kind(node) {
+            NodeKind::Leaf(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Work (abstract instruction count) of `thread`.
+    #[inline]
+    pub fn work_of(&self, thread: ThreadId) -> u64 {
+        self.thread_work[thread.index()]
+    }
+
+    /// Total number of nodes (internal + leaves).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of threads (leaves).
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.thread_leaf.len()
+    }
+
+    /// Number of P-nodes (forks).
+    pub fn num_pnodes(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_p()).count()
+    }
+
+    /// Number of S-nodes.
+    pub fn num_snodes(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_s()).count()
+    }
+
+    /// Maximum node depth.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum P-node nesting depth over all leaves (the `d` of Figure 3's
+    /// offset-span row).
+    pub fn max_p_nesting(&self) -> u32 {
+        let mut best = 0;
+        for &leaf in &self.thread_leaf {
+            let mut d = 0;
+            let mut cur = leaf;
+            while !cur.is_none() {
+                if self.kind(cur).is_p() {
+                    d += 1;
+                }
+                cur = self.parent(cur);
+            }
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// All node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// All thread ids in serial execution order.
+    pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        (0..self.thread_leaf.len() as u32).map(ThreadId)
+    }
+
+    /// Is `anc` an ancestor of `node` (a node counts as its own ancestor)?
+    pub fn is_ancestor(&self, anc: NodeId, mut node: NodeId) -> bool {
+        // Walk up from the deeper node.
+        while !node.is_none() && self.depth(node) > self.depth(anc) {
+            node = self.parent(node);
+        }
+        node == anc
+    }
+
+    /// Structural validation (test helper): full binary shape, parent/child
+    /// consistency, dense thread ids.
+    pub fn check_invariants(&self) {
+        let mut seen_children = vec![false; self.num_nodes()];
+        for node in self.node_ids() {
+            match self.kind(node) {
+                NodeKind::Leaf(t) => {
+                    assert_eq!(self.leaf_of(t), node);
+                }
+                _ => {
+                    let l = self.left(node);
+                    let r = self.right(node);
+                    assert!(!l.is_none() && !r.is_none(), "internal node missing child");
+                    assert_eq!(self.parent(l), node);
+                    assert_eq!(self.parent(r), node);
+                    assert!(!seen_children[l.index()] && !seen_children[r.index()]);
+                    seen_children[l.index()] = true;
+                    seen_children[r.index()] = true;
+                    assert_eq!(self.depth(l), self.depth(node) + 1);
+                    assert_eq!(self.depth(r), self.depth(node) + 1);
+                }
+            }
+        }
+        assert!(!seen_children[self.root.index()]);
+        assert_eq!(
+            seen_children.iter().filter(|&&s| s).count(),
+            self.num_nodes() - 1,
+            "every node except the root must be some node's child"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::Ast;
+
+    #[test]
+    fn single_thread_tree() {
+        let tree = Ast::leaf(5).build();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.num_threads(), 1);
+        assert_eq!(tree.work_of(crate::ThreadId(0)), 5);
+        assert_eq!(tree.num_procs(), 1);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn procedure_annotation_follows_spawn_rule() {
+        // P(a, b): a is in a spawned procedure, b stays in the root procedure.
+        let tree = Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]).build();
+        assert_eq!(tree.num_procs(), 2);
+        let root = tree.root();
+        let a = tree.left(root);
+        let b = tree.right(root);
+        assert_eq!(tree.proc_of(root), crate::ProcId(0));
+        assert_ne!(tree.proc_of(a), crate::ProcId(0));
+        assert_eq!(tree.proc_of(b), crate::ProcId(0));
+        assert_eq!(tree.spawned_proc(root), tree.proc_of(a));
+        let info = tree.proc_info(tree.proc_of(a));
+        assert_eq!(info.parent, crate::ProcId(0));
+        assert_eq!(info.spawn_site, root);
+        assert_eq!(info.body, a);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let tree = Ast::seq(vec![
+            Ast::leaf(1),
+            Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+        ])
+        .build();
+        let root = tree.root();
+        for node in tree.node_ids() {
+            assert!(tree.is_ancestor(root, node));
+            assert!(tree.is_ancestor(node, node));
+        }
+        let l = tree.left(root);
+        let r = tree.right(root);
+        assert!(!tree.is_ancestor(l, r));
+        assert!(!tree.is_ancestor(r, l));
+    }
+
+    #[test]
+    fn p_nesting_depth() {
+        let flat = Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]).build();
+        assert_eq!(flat.max_p_nesting(), 1);
+        let nested = Ast::par(vec![
+            Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+            Ast::leaf(1),
+        ])
+        .build();
+        assert_eq!(nested.max_p_nesting(), 2);
+        let serial = Ast::seq(vec![Ast::leaf(1), Ast::leaf(1), Ast::leaf(1)]).build();
+        assert_eq!(serial.max_p_nesting(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Tree walks over SP parse trees.
+//!
+//! The serial SP-maintenance algorithms consume the parse tree through a
+//! left-to-right depth-first walk — the order in which a serial execution of
+//! the program unfolds the tree (paper §2).  [`serial_walk`] delivers the walk
+//! as a stream of [`WalkEvent`]s; [`TreeVisitor`] is the equivalent callback
+//! interface used by the algorithm implementations.
+//!
+//! The module also provides the static *English* and *Hebrew* orderings of
+//! threads (paper Figure 4): the English walk visits left children first at
+//! every node; the Hebrew walk visits right children first at P-nodes but left
+//! children first at S-nodes.
+//!
+//! All walks are iterative (explicit stack) so that very deep trees — e.g. a
+//! serial chain of a million threads — do not overflow the call stack.
+
+use crate::tree::{NodeId, NodeKind, ParseTree, ThreadId};
+
+/// One step of a left-to-right tree walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WalkEvent {
+    /// About to walk the subtree rooted at this internal node.
+    EnterInternal(NodeId),
+    /// The left subtree of this internal node is fully walked; the right
+    /// subtree is about to be walked.
+    BetweenChildren(NodeId),
+    /// Both subtrees of this internal node are fully walked.
+    LeaveInternal(NodeId),
+    /// A leaf was reached: this thread executes now.
+    Thread(NodeId, ThreadId),
+}
+
+/// Callback interface for a left-to-right walk; a convenience wrapper around
+/// [`serial_walk`] used by the SP-maintenance algorithms.
+pub trait TreeVisitor {
+    /// Called before either subtree of an internal node is walked.
+    fn enter_internal(&mut self, tree: &ParseTree, node: NodeId) {
+        let _ = (tree, node);
+    }
+    /// Called between the left and right subtrees of an internal node.
+    fn between_children(&mut self, tree: &ParseTree, node: NodeId) {
+        let _ = (tree, node);
+    }
+    /// Called after both subtrees of an internal node have been walked.
+    fn leave_internal(&mut self, tree: &ParseTree, node: NodeId) {
+        let _ = (tree, node);
+    }
+    /// Called when a leaf (thread) is reached.
+    fn visit_thread(&mut self, tree: &ParseTree, node: NodeId, thread: ThreadId) {
+        let _ = (tree, node, thread);
+    }
+}
+
+/// Perform an iterative left-to-right walk, delivering [`WalkEvent`]s to `f`.
+pub fn serial_walk(tree: &ParseTree, mut f: impl FnMut(WalkEvent)) {
+    enum Frame {
+        Visit(NodeId),
+        Between(NodeId),
+        Leave(NodeId),
+    }
+    let mut stack = vec![Frame::Visit(tree.root())];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Visit(node) => match tree.kind(node) {
+                NodeKind::Leaf(t) => f(WalkEvent::Thread(node, t)),
+                NodeKind::S | NodeKind::P => {
+                    f(WalkEvent::EnterInternal(node));
+                    stack.push(Frame::Leave(node));
+                    stack.push(Frame::Visit(tree.right(node)));
+                    stack.push(Frame::Between(node));
+                    stack.push(Frame::Visit(tree.left(node)));
+                }
+            },
+            Frame::Between(node) => f(WalkEvent::BetweenChildren(node)),
+            Frame::Leave(node) => f(WalkEvent::LeaveInternal(node)),
+        }
+    }
+}
+
+/// Drive a [`TreeVisitor`] through a left-to-right walk.
+pub fn walk_visitor<V: TreeVisitor>(tree: &ParseTree, visitor: &mut V) {
+    serial_walk(tree, |ev| match ev {
+        WalkEvent::EnterInternal(n) => visitor.enter_internal(tree, n),
+        WalkEvent::BetweenChildren(n) => visitor.between_children(tree, n),
+        WalkEvent::LeaveInternal(n) => visitor.leave_internal(tree, n),
+        WalkEvent::Thread(n, t) => visitor.visit_thread(tree, n, t),
+    });
+}
+
+/// Threads in English order (left children first everywhere).
+pub fn english_order(tree: &ParseTree) -> Vec<ThreadId> {
+    let mut out = Vec::with_capacity(tree.num_threads());
+    let mut stack = vec![tree.root()];
+    while let Some(node) = stack.pop() {
+        match tree.kind(node) {
+            NodeKind::Leaf(t) => out.push(t),
+            _ => {
+                stack.push(tree.right(node));
+                stack.push(tree.left(node));
+            }
+        }
+    }
+    out
+}
+
+/// Threads in Hebrew order (right children first at P-nodes, left children
+/// first at S-nodes).
+pub fn hebrew_order(tree: &ParseTree) -> Vec<ThreadId> {
+    let mut out = Vec::with_capacity(tree.num_threads());
+    let mut stack = vec![tree.root()];
+    while let Some(node) = stack.pop() {
+        match tree.kind(node) {
+            NodeKind::Leaf(t) => out.push(t),
+            NodeKind::S => {
+                stack.push(tree.right(node));
+                stack.push(tree.left(node));
+            }
+            NodeKind::P => {
+                stack.push(tree.left(node));
+                stack.push(tree.right(node));
+            }
+        }
+    }
+    out
+}
+
+/// Index of every thread in the English order (`english_index[t] = position`).
+pub fn english_index(tree: &ParseTree) -> Vec<usize> {
+    order_to_index(tree, &english_order(tree))
+}
+
+/// Index of every thread in the Hebrew order.
+pub fn hebrew_index(tree: &ParseTree) -> Vec<usize> {
+    order_to_index(tree, &hebrew_order(tree))
+}
+
+fn order_to_index(tree: &ParseTree, order: &[ThreadId]) -> Vec<usize> {
+    let mut idx = vec![0usize; tree.num_threads()];
+    for (pos, t) in order.iter().enumerate() {
+        idx[t.index()] = pos;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Ast;
+    use crate::generate::random_sp_ast;
+
+    #[test]
+    fn english_order_is_thread_id_order() {
+        // Thread ids are assigned in left-to-right order, so the English order
+        // must be 0, 1, 2, ….
+        let ast = random_sp_ast(200, 0.5, 7);
+        let tree = ast.build();
+        let order = english_order(&tree);
+        for (i, t) in order.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn hebrew_order_is_a_permutation() {
+        let ast = random_sp_ast(300, 0.5, 13);
+        let tree = ast.build();
+        let order = hebrew_order(&tree);
+        let mut seen = vec![false; tree.num_threads()];
+        for t in order {
+            assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn hebrew_order_reverses_parallel_children_only() {
+        // S(a, P(b, c)): English = a b c, Hebrew = a c b.
+        let tree = Ast::seq(vec![
+            Ast::leaf(1),
+            Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+        ])
+        .build();
+        let eng: Vec<u32> = english_order(&tree).iter().map(|t| t.0).collect();
+        let heb: Vec<u32> = hebrew_order(&tree).iter().map(|t| t.0).collect();
+        assert_eq!(eng, vec![0, 1, 2]);
+        assert_eq!(heb, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn walk_events_are_balanced_and_complete() {
+        let ast = random_sp_ast(100, 0.4, 3);
+        let tree = ast.build();
+        let mut enters = 0;
+        let mut betweens = 0;
+        let mut leaves = 0;
+        let mut threads = 0;
+        let mut open = Vec::new();
+        serial_walk(&tree, |ev| match ev {
+            WalkEvent::EnterInternal(n) => {
+                enters += 1;
+                open.push(n);
+            }
+            WalkEvent::BetweenChildren(n) => {
+                betweens += 1;
+                assert_eq!(open.last().copied(), Some(n));
+            }
+            WalkEvent::LeaveInternal(n) => {
+                leaves += 1;
+                assert_eq!(open.pop(), Some(n));
+            }
+            WalkEvent::Thread(_, _) => threads += 1,
+        });
+        assert_eq!(enters, leaves);
+        assert_eq!(enters, betweens);
+        assert_eq!(threads, tree.num_threads());
+        assert_eq!(enters, tree.num_nodes() - tree.num_threads());
+        assert!(open.is_empty());
+    }
+
+    #[test]
+    fn deep_serial_chain_does_not_overflow_stack() {
+        // 200k-leaf serial chain: a recursive walk would blow the stack.
+        let ast = Ast::seq((0..200_000).map(|_| Ast::leaf(1)).collect());
+        let tree = ast.build();
+        let mut count = 0usize;
+        serial_walk(&tree, |ev| {
+            if matches!(ev, WalkEvent::Thread(_, _)) {
+                count += 1;
+            }
+        });
+        assert_eq!(count, 200_000);
+    }
+}

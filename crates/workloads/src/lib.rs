@@ -1,0 +1,16 @@
+//! Synthetic fork-join workloads and access scripts for tests and benchmarks.
+//!
+//! The paper evaluates SP-maintenance analytically; to *measure* the
+//! algorithms we need concrete fork-join programs with controllable
+//! parameters (thread count n, work T₁, critical path T∞, fork count f,
+//! nesting depth d) and concrete shared-memory behaviour (racy or race-free).
+//! This crate packages the program shapes the paper's setting implies —
+//! divide-and-conquer recursion, parallel loops, serial chains, deeply nested
+//! forks, random Cilk programs — together with access-script generators for
+//! the race-detection experiments.
+
+pub mod programs;
+pub mod scripts;
+
+pub use programs::{Workload, WorkloadKind};
+pub use scripts::{disjoint_writes, inject_races, shared_read_private_write};

@@ -1,0 +1,69 @@
+//! # sp-maintenance
+//!
+//! A from-scratch Rust implementation of
+//! *On-the-Fly Maintenance of Series-Parallel Relationships in Fork-Join
+//! Multithreaded Programs* (Bender, Fineman, Gilbert, Leiserson — SPAA 2004),
+//! together with every substrate and baseline the paper builds on:
+//!
+//! * [`om`] — order-maintenance lists (single-level, two-level O(1) amortized,
+//!   and a concurrent lock-free-query variant),
+//! * [`dsu`] — disjoint-set structures (path-compressed, rank-only, and a
+//!   concurrent-read variant),
+//! * [`sptree`] — SP parse trees, Cilk canonical form, walks, the LCA oracle,
+//!   computation-dag metrics and random program generators,
+//! * [`spmaint`] — the serial SP-maintenance algorithms of Figure 3:
+//!   SP-order, SP-bags, English-Hebrew labels, offset-span labels,
+//! * [`forkrt`] — a Cilk-style work-stealing runtime that walks parse trees,
+//! * [`sphybrid`] — the parallel SP-hybrid algorithm (global + local tier),
+//! * [`racedet`] — serial and parallel determinacy-race detectors,
+//! * [`workloads`] — synthetic fork-join programs and access scripts.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sp_maintenance::prelude::*;
+//!
+//! // Build a tiny fork-join program:  u0 ; (u1 ∥ u2) ; u3
+//! let tree = Ast::seq(vec![
+//!     Ast::leaf(1),
+//!     Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+//!     Ast::leaf(1),
+//! ])
+//! .build();
+//!
+//! // Maintain SP relationships on the fly with SP-order and query them.
+//! let sp: SpOrder = run_serial(&tree);
+//! assert!(sp.precedes(ThreadId(0), ThreadId(3)));
+//! assert!(sp.parallel(ThreadId(1), ThreadId(2)));
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (race detection,
+//! parallel scaling, algorithm comparison) and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the reproduction notes.
+
+pub use dsu;
+pub use forkrt;
+pub use om;
+pub use racedet;
+pub use sphybrid;
+pub use spmaint;
+pub use sptree;
+pub use workloads;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use om::{OrderMaintenance, TagList, TwoLevelList};
+    pub use racedet::{
+        Access, AccessKind, AccessScript, ParallelRaceDetector, RaceReport, SerialRaceDetector,
+    };
+    pub use sphybrid::{run_hybrid, HybridConfig, SpHybrid};
+    pub use spmaint::{
+        run_serial, run_serial_with_queries, CurrentSpQuery, EnglishHebrewLabels, OffsetSpanLabels,
+        OnTheFlySp, SpBags, SpOrder, SpQuery,
+    };
+    pub use sptree::{
+        Ast, CilkProgram, NodeId, NodeKind, ParseTree, Procedure, Relation, SpOracle, Stmt,
+        SyncBlock, ThreadId, WorkSpan,
+    };
+    pub use workloads::{Workload, WorkloadKind};
+}

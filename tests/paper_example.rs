@@ -1,0 +1,126 @@
+//! The paper's running example (Figures 1, 2 and 4) and Lemma 1 / Corollary 2,
+//! checked end to end across crates.
+
+use sp_maintenance::prelude::*;
+use sp_maintenance::sptree::dag::ComputationDag;
+use sp_maintenance::sptree::walk::{english_index, hebrew_index};
+
+/// A nine-thread parse tree with the relationships the paper discusses for its
+/// Figure 1/2 example: u1 ≺ u4 (their LCA is an S-node) and u1 ∥ u6 (their LCA
+/// is a P-node).
+fn paper_style_tree() -> ParseTree {
+    Ast::seq(vec![
+        Ast::leaf(1), // u0
+        Ast::par(vec![
+            Ast::seq(vec![
+                Ast::leaf(1),                               // u1
+                Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]), // u2, u3
+                Ast::leaf(1),                               // u4
+            ]),
+            Ast::seq(vec![
+                Ast::leaf(1),                               // u5
+                Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]), // u6, u7
+            ]),
+        ]),
+        Ast::leaf(1), // u8
+    ])
+    .build()
+}
+
+#[test]
+fn figure_1_and_2_structure() {
+    let tree = paper_style_tree();
+    tree.check_invariants();
+    assert_eq!(tree.num_threads(), 9);
+    // Full binary: n leaves -> n - 1 internal nodes.
+    assert_eq!(tree.num_nodes(), 17);
+
+    // The corresponding computation dag has one fork per P-node and one thread
+    // edge per leaf (Figure 1 <-> Figure 2 correspondence).
+    let dag = ComputationDag::from_tree(&tree);
+    assert_eq!(dag.num_forks(), tree.num_pnodes());
+    assert_eq!(dag.num_thread_edges(), 9);
+}
+
+#[test]
+fn stated_relations_hold_in_the_oracle_and_in_sp_order() {
+    let tree = paper_style_tree();
+    let oracle = SpOracle::new(&tree);
+    let sp: SpOrder = run_serial(&tree);
+
+    // u1 ≺ u4 because S1 = lca(u1, u4) is an S-node with u1 on the left.
+    assert_eq!(oracle.relation(ThreadId(1), ThreadId(4)), Relation::Precedes);
+    assert!(sp.precedes(ThreadId(1), ThreadId(4)));
+
+    // u1 ∥ u6 because P1 = lca(u1, u6) is a P-node.
+    assert_eq!(oracle.relation(ThreadId(1), ThreadId(6)), Relation::Parallel);
+    assert!(sp.parallel(ThreadId(1), ThreadId(6)));
+
+    // u0 precedes everything; u8 follows everything.
+    for t in 1..9u32 {
+        assert!(sp.precedes(ThreadId(0), ThreadId(t)));
+    }
+    for t in 1..8u32 {
+        assert!(sp.precedes(ThreadId(t), ThreadId(8)));
+    }
+
+    // The full relation matrix of every algorithm matches the oracle.
+    let bags_check = |a: ThreadId, b: ThreadId| oracle.relation(a, b);
+    for i in 0..9u32 {
+        for j in 0..9u32 {
+            assert_eq!(sp.relation(ThreadId(i), ThreadId(j)), bags_check(ThreadId(i), ThreadId(j)));
+        }
+    }
+}
+
+#[test]
+fn figure_4_english_hebrew_orderings_characterize_sp_relations() {
+    // Lemma 1: ui ≺ uj iff E[ui] < E[uj] and H[ui] < H[uj];
+    // Corollary 2: given E[ui] < E[uj], ui ∥ uj iff H[ui] > H[uj].
+    let tree = paper_style_tree();
+    let oracle = SpOracle::new(&tree);
+    let e = english_index(&tree);
+    let h = hebrew_index(&tree);
+
+    // Spot-check the two relations called out in the text.
+    assert!(e[1] < e[4] && h[1] < h[4]); // u1 ≺ u4
+    assert!(e[1] < e[6] && h[1] > h[6]); // u1 ∥ u6
+
+    for i in 0..9usize {
+        for j in 0..9usize {
+            if i == j {
+                continue;
+            }
+            let both = e[i] < e[j] && h[i] < h[j];
+            assert_eq!(
+                oracle.precedes(ThreadId(i as u32), ThreadId(j as u32)),
+                both,
+                "Lemma 1 violated for (u{i}, u{j})"
+            );
+            if e[i] < e[j] {
+                assert_eq!(
+                    oracle.parallel(ThreadId(i as u32), ThreadId(j as u32)),
+                    h[i] > h[j],
+                    "Corollary 2 violated for (u{i}, u{j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_serial_algorithms_agree_on_the_example() {
+    let tree = paper_style_tree();
+    let oracle = SpOracle::new(&tree);
+    let order: SpOrder = run_serial(&tree);
+    let eh: EnglishHebrewLabels = run_serial(&tree);
+    let os: OffsetSpanLabels = run_serial(&tree);
+    for i in 0..9u32 {
+        for j in 0..9u32 {
+            let expect = oracle.relation(ThreadId(i), ThreadId(j));
+            assert_eq!(order.relation(ThreadId(i), ThreadId(j)), expect);
+            assert_eq!(eh.relation(ThreadId(i), ThreadId(j)), expect);
+            assert_eq!(os.relation(ThreadId(i), ThreadId(j)), expect);
+        }
+    }
+}
