@@ -205,8 +205,8 @@ mod tests {
         // Threads of deeper procedures stay with U (= U3).
         assert_eq!(tier.find_trace(ThreadId(3)).0, u);
         // The moved bags are gone from the trace's maps.
-        assert!(local.sbag.get(&0).is_none());
-        assert!(local.pbag.get(&0).is_none());
+        assert!(!local.sbag.contains_key(&0));
+        assert!(!local.pbag.contains_key(&0));
     }
 
     #[test]

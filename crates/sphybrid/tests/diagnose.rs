@@ -31,7 +31,8 @@ fn stress_parallel_hybrid_against_oracle() {
         let exec_trace: Vec<AtomicU32> =
             (0..tree.num_threads()).map(|_| AtomicU32::new(u32::MAX)).collect();
         // (earlier, current, current_trace, answer, earlier_trace_now, earlier_is_sbag)
-        let mismatches: Mutex<Vec<(u32, u32, u32, bool, u32, bool)>> = Mutex::new(Vec::new());
+        type Mismatch = (u32, u32, u32, bool, u32, bool);
+        let mismatches: Mutex<Vec<Mismatch>> = Mutex::new(Vec::new());
 
         let (hybrid, stats) = run_hybrid(
             &tree,

@@ -1,0 +1,73 @@
+//! Minimal offline stand-in for `crossbeam-utils`: just [`Backoff`].
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, mirroring `crossbeam_utils::Backoff`.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// Fresh backoff in its initial (shortest-wait) state.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Reset to the initial state (call after useful work was found).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Back off in a lock-free retry loop: spin with exponentially more
+    /// `spin_loop` hints each call.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..1u32 << step {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Back off while waiting on another thread: spin first, then yield to
+    /// the OS scheduler.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Has backoff escalated to the point where parking would be better?
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_then_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,204 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's tests use: the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, range strategies over
+//! integers and floats, `collection::vec`, and `prop_assert_eq!`.  Instead of
+//! upstream's shrinking machinery it runs each property for a fixed number of
+//! deterministic seeded cases and panics (with the case's inputs) on the
+//! first failure — no minimization, but the seed stream is stable so failures
+//! reproduce.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+pub mod prelude {
+    pub use crate::ProptestConfig;
+    pub use crate::Strategy;
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Upstream proptest's `Strategy` carries shrinking
+/// state; the shim only needs generation.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    use super::{SampleRange, Strategy};
+
+    /// Strategy producing a `Vec` whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let n = self.len.clone().sample_single(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fresh deterministic RNG for case number `case` of a named property.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h = 0xcbf29ce484222325u64; // FNV-1a over the test name
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x5EED_CA5E)
+}
+
+/// Property-test macro: generates one `#[test]` per `fn`, running the body
+/// for `config.cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(
+                    let $arg = $crate::Strategy::generate(&$strategy, &mut proptest_rng);
+                )+
+                // Render inputs before the body runs — the body may consume them.
+                let inputs = format!("{:?}", ($(&$arg,)+));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case} of {} failed with inputs {inputs}",
+                        stringify!($name)
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )+};
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )+
+        }
+    };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_vecs(n in 2usize..50, p in 0.0f64..1.0, v in crate::collection::vec(0usize..10, 1..20)) {
+            crate::prop_assert!((2..50).contains(&n));
+            crate::prop_assert!((0.0..1.0).contains(&p));
+            crate::prop_assert!(!v.is_empty() && v.len() < 20);
+            crate::prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let a: Vec<usize> = (0..5)
+            .map(|c| (0usize..1000).generate(&mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<usize> = (0..5)
+            .map(|c| (0usize..1000).generate(&mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
