@@ -1,0 +1,172 @@
+//! The generic race-detection engine: one detector, six SP backends.
+//!
+//! Every maintainer in this repository — the four serial Figure-3 algorithms,
+//! the naive locked SP-order, and SP-hybrid — implements
+//! [`spmaint::SpBackend`].  This module contains the single
+//! Nondeterminator-style detection loop that drives any of them: the backend
+//! executes the program (serially or on the work-stealing scheduler) and, at
+//! every thread, the engine replays that thread's scripted shared-memory
+//! accesses against the shadow memory, issuing `SP-PRECEDES` queries through
+//! the backend's [`CurrentSpQuery`] view.
+//!
+//! The shadow cells are individually locked and the report is behind a mutex
+//! so that the *same* engine code is correct for concurrent backends; for
+//! serial backends the locks are uncontended and the report order is the
+//! deterministic left-to-right order — which is what lets the conformance
+//! harness demand bit-identical reports across serial backends.
+
+use parking_lot::Mutex;
+use spmaint::api::{BackendConfig, CurrentSpQuery, SpBackend};
+use sptree::tree::{ParseTree, ThreadId};
+
+use crate::access::{AccessKind, AccessScript};
+use crate::report::{Race, RaceKind, RaceReport};
+use crate::shadow::SyncShadowMemory;
+
+/// Run race detection over `tree` with backend `B` built under `config`.
+/// Returns the race report and the fully built backend (useful for space
+/// accounting, statistics, and post-run pair queries on full backends).
+pub fn detect_races<'t, B: SpBackend<'t>>(
+    tree: &'t ParseTree,
+    script: &AccessScript,
+    config: BackendConfig,
+) -> (RaceReport, B) {
+    assert_eq!(
+        script.num_threads(),
+        tree.num_threads(),
+        "access script must cover every thread of the program"
+    );
+    let shadow = SyncShadowMemory::new(script.num_locations());
+    let report = Mutex::new(RaceReport::new());
+    let mut backend = B::build(tree, config);
+    backend.run_with_queries(tree, |queries, current| {
+        for access in script.of(current) {
+            check_access(queries, &shadow, &report, current, access.loc, access.kind);
+        }
+    });
+    (report.into_inner(), backend)
+}
+
+/// Shadow-memory update and race check for one access (Feng–Leiserson rules),
+/// shared by every backend instantiation of the engine.
+pub(crate) fn check_access(
+    queries: &dyn CurrentSpQuery,
+    shadow: &SyncShadowMemory,
+    report: &Mutex<RaceReport>,
+    current: ThreadId,
+    loc: u32,
+    kind: AccessKind,
+) {
+    let mut cell = shadow.lock(loc);
+    let parallel_with =
+        |earlier: ThreadId| earlier != current && queries.parallel_with_current(earlier);
+    match kind {
+        AccessKind::Write => {
+            if let Some(w) = cell.writer {
+                if parallel_with(w) {
+                    report.lock().push(Race {
+                        loc,
+                        earlier: w,
+                        later: current,
+                        kind: RaceKind::WriteWrite,
+                    });
+                }
+            }
+            if let Some(r) = cell.reader {
+                if parallel_with(r) {
+                    report.lock().push(Race {
+                        loc,
+                        earlier: r,
+                        later: current,
+                        kind: RaceKind::ReadWrite,
+                    });
+                }
+            }
+            cell.writer = Some(current);
+        }
+        AccessKind::Read => {
+            if let Some(w) = cell.writer {
+                if parallel_with(w) {
+                    report.lock().push(Race {
+                        loc,
+                        earlier: w,
+                        later: current,
+                        kind: RaceKind::WriteRead,
+                    });
+                }
+            }
+            // Keep the reader that is "deepest": replace only a reader that
+            // serially precedes the current thread (Feng–Leiserson rule).
+            let replace = match cell.reader {
+                None => true,
+                Some(r) => r == current || queries.precedes_current(r),
+            };
+            if replace {
+                cell.reader = Some(current);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use sphybrid::{HybridBackend, NaiveBackend};
+    use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
+    use sptree::cilk::{CilkProgram, Procedure, SyncBlock};
+
+    /// main spawns two children that both write location 0 — a definite race,
+    /// in canonical Cilk form so every backend (including SP-hybrid) runs it.
+    fn racy_cilk_program() -> (ParseTree, AccessScript) {
+        let child = |work| Procedure::single(SyncBlock::new().work(work));
+        let main = Procedure::single(SyncBlock::new().spawn(child(3)).spawn(child(5)).work(1));
+        let tree = CilkProgram::new(main).build_tree();
+        let mut script = AccessScript::new(tree.num_threads(), 1);
+        let a = tree.thread_ids().find(|&t| tree.work_of(t) == 3).unwrap();
+        let b = tree.thread_ids().find(|&t| tree.work_of(t) == 5).unwrap();
+        script.push(a, Access::write(0));
+        script.push(b, Access::write(0));
+        (tree, script)
+    }
+
+    #[test]
+    fn one_engine_finds_the_race_through_all_six_backends() {
+        let (tree, script) = racy_cilk_program();
+        let cfg = BackendConfig::serial();
+        let reports = [
+            detect_races::<SpOrder>(&tree, &script, cfg).0,
+            detect_races::<SpBags>(&tree, &script, cfg).0,
+            detect_races::<EnglishHebrewLabels>(&tree, &script, cfg).0,
+            detect_races::<OffsetSpanLabels>(&tree, &script, cfg).0,
+            detect_races::<NaiveBackend>(&tree, &script, cfg).0,
+            detect_races::<HybridBackend>(&tree, &script, cfg).0,
+        ];
+        for report in &reports {
+            assert_eq!(report.racy_locations(), vec![0]);
+            assert_eq!(report.races(), reports[0].races(), "serial runs are deterministic");
+        }
+    }
+
+    #[test]
+    fn engine_returns_the_built_backend() {
+        let (tree, script) = racy_cilk_program();
+        let (_, backend) =
+            detect_races::<SpOrder>(&tree, &script, BackendConfig::serial());
+        use spmaint::api::SpBackend as _;
+        assert_eq!(backend.backend_name(), "sp-order");
+        assert!(backend.backend_space_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_backends_find_the_race_with_many_workers() {
+        let (tree, script) = racy_cilk_program();
+        for workers in [2usize, 4] {
+            let cfg = BackendConfig::with_workers(workers);
+            let (r, _b) = detect_races::<HybridBackend>(&tree, &script, cfg);
+            assert_eq!(r.racy_locations(), vec![0], "hybrid, workers={workers}");
+            let (r, _b) = detect_races::<NaiveBackend>(&tree, &script, cfg);
+            assert_eq!(r.racy_locations(), vec![0], "naive, workers={workers}");
+        }
+    }
+}

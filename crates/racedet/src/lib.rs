@@ -11,27 +11,33 @@
 //! translates directly into end-to-end detector overhead (Corollary 6: with
 //! SP-order the whole instrumented run costs O(T₁)).
 //!
-//! Two detectors are provided:
+//! There is **one** detection engine ([`engine::detect_races`]), generic over
+//! the unified [`spmaint::SpBackend`] trait, so the same shadow-memory logic
+//! drives all six SP maintainers of this repository: the four serial
+//! Figure-3 algorithms, the naive locked SP-order, and SP-hybrid.  Two
+//! convenience facades are kept for the common instantiations:
 //!
-//! * [`serial::SerialRaceDetector`] — drives a serial left-to-right execution
-//!   of the program and works with **any** serial SP-maintenance algorithm
-//!   from the `spmaint` crate;
-//! * [`parallel::ParallelRaceDetector`] — runs the program on the `forkrt`
-//!   work-stealing scheduler and uses SP-hybrid for queries, with sharded
-//!   locks on the shadow cells.
+//! * [`serial::SerialRaceDetector`] — the engine pinned to one worker; with a
+//!   serial algorithm as the backend this is the classic left-to-right
+//!   simulating detector;
+//! * [`parallel::ParallelRaceDetector`] — the engine instantiated with the
+//!   SP-hybrid backend on the `forkrt` work-stealing scheduler, with per-cell
+//!   locks on the shadow memory.
 //!
 //! Memory accesses are provided as per-thread *access scripts*
 //! ([`access::AccessScript`]), the synthetic stand-in for instrumenting a real
 //! program (see DESIGN.md's substitution table).
 
 pub mod access;
+pub mod engine;
 pub mod parallel;
 pub mod report;
 pub mod serial;
 pub mod shadow;
 
 pub use access::{Access, AccessKind, AccessScript};
+pub use engine::detect_races;
 pub use parallel::ParallelRaceDetector;
 pub use report::{Race, RaceKind, RaceReport};
 pub use serial::SerialRaceDetector;
-pub use shadow::ShadowMemory;
+pub use shadow::{ShadowCell, SyncShadowMemory};

@@ -9,15 +9,21 @@
 //! most of its parallelism because SP-maintenance work serializes only on the
 //! rare steal events.
 
-use parking_lot::Mutex;
-use sphybrid::hybrid::{HybridConfig, HybridStats, SpHybrid};
-use sptree::tree::{ParseTree, ThreadId};
+use sphybrid::hybrid::HybridStats;
+use sphybrid::HybridBackend;
+use spmaint::api::BackendConfig;
+use sptree::tree::ParseTree;
 
-use crate::access::{AccessKind, AccessScript};
-use crate::report::{Race, RaceKind, RaceReport};
-use crate::shadow::SyncShadowMemory;
+use crate::access::AccessScript;
+use crate::engine::detect_races;
+use crate::report::RaceReport;
 
 /// Parallel race detector.
+///
+/// A thin wrapper over the generic engine ([`detect_races`]) instantiated
+/// with the SP-hybrid backend on `workers` workers; the shadow cells are
+/// individually locked inside the engine, exactly as before the engine was
+/// factored out.
 pub struct ParallelRaceDetector;
 
 impl ParallelRaceDetector {
@@ -27,79 +33,12 @@ impl ParallelRaceDetector {
         script: &AccessScript,
         workers: usize,
     ) -> (RaceReport, HybridStats) {
-        assert_eq!(
-            script.num_threads(),
-            tree.num_threads(),
-            "access script must cover every thread of the program"
-        );
-        let shadow = SyncShadowMemory::new(script.num_locations());
-        let report = Mutex::new(RaceReport::new());
-        let hybrid = SpHybrid::new(tree, HybridConfig::with_workers(workers));
-
-        let stats = hybrid.run(workers, |h, current, trace| {
-            for access in script.of(current) {
-                check_access_parallel(h, &shadow, &report, current, trace, access.loc, access.kind);
-            }
-        });
-        (report.into_inner(), stats)
-    }
-}
-
-fn check_access_parallel(
-    hybrid: &SpHybrid<'_>,
-    shadow: &SyncShadowMemory,
-    report: &Mutex<RaceReport>,
-    current: ThreadId,
-    trace: sphybrid::TraceId,
-    loc: u32,
-    kind: AccessKind,
-) {
-    let mut cell = shadow.lock(loc);
-    let parallel_with =
-        |earlier: ThreadId| earlier != current && hybrid.parallel_with_current(earlier, trace);
-    match kind {
-        AccessKind::Write => {
-            if let Some(w) = cell.writer {
-                if parallel_with(w) {
-                    report.lock().push(Race {
-                        loc,
-                        earlier: w,
-                        later: current,
-                        kind: RaceKind::WriteWrite,
-                    });
-                }
-            }
-            if let Some(r) = cell.reader {
-                if parallel_with(r) {
-                    report.lock().push(Race {
-                        loc,
-                        earlier: r,
-                        later: current,
-                        kind: RaceKind::ReadWrite,
-                    });
-                }
-            }
-            cell.writer = Some(current);
-        }
-        AccessKind::Read => {
-            if let Some(w) = cell.writer {
-                if parallel_with(w) {
-                    report.lock().push(Race {
-                        loc,
-                        earlier: w,
-                        later: current,
-                        kind: RaceKind::WriteRead,
-                    });
-                }
-            }
-            let replace = match cell.reader {
-                None => true,
-                Some(r) => r == current || hybrid.precedes_current(r, trace),
-            };
-            if replace {
-                cell.reader = Some(current);
-            }
-        }
+        let (report, mut backend) =
+            detect_races::<HybridBackend>(tree, script, BackendConfig::with_workers(workers));
+        let stats = backend
+            .take_stats()
+            .expect("run_with_queries completed, so stats are recorded");
+        (report, stats)
     }
 }
 

@@ -13,93 +13,29 @@
 //! O(T₁·f) / O(T₁·d) with the label-based baselines, and O(T₁) with SP-order
 //! (Corollary 6).
 
-use spmaint::api::{run_serial_with_queries, CurrentSpQuery, OnTheFlySp};
-use sptree::tree::{ParseTree, ThreadId};
+use spmaint::api::{BackendConfig, SpBackend};
+use sptree::tree::ParseTree;
 
-use crate::access::{AccessKind, AccessScript};
-use crate::report::{Race, RaceKind, RaceReport};
-use crate::shadow::ShadowMemory;
+use crate::access::AccessScript;
+use crate::engine::detect_races;
+use crate::report::RaceReport;
 
-/// Serial race detector, generic over the SP-maintenance algorithm.
+/// Serial race detector, generic over the SP-maintenance backend.
+///
+/// A thin wrapper over the generic engine ([`detect_races`]) pinned to one
+/// worker; with a serial Figure-3 algorithm as the backend this is exactly
+/// the left-to-right simulating detector of the paper's §1.
 pub struct SerialRaceDetector;
 
 impl SerialRaceDetector {
     /// Run the detector over `tree` with the given access script, maintaining
-    /// SP relationships with algorithm `A`.  Returns the race report and the
+    /// SP relationships with backend `A`.  Returns the race report and the
     /// fully built SP structure (useful for space accounting).
-    pub fn run<A: OnTheFlySp>(tree: &ParseTree, script: &AccessScript) -> (RaceReport, A) {
-        assert_eq!(
-            script.num_threads(),
-            tree.num_threads(),
-            "access script must cover every thread of the program"
-        );
-        let mut shadow = ShadowMemory::new(script.num_locations());
-        let mut report = RaceReport::new();
-        let alg: A = run_serial_with_queries(tree, |alg, current| {
-            for access in script.of(current) {
-                check_access(alg, &mut shadow, &mut report, current, access.loc, access.kind);
-            }
-        });
-        (report, alg)
-    }
-}
-
-/// Shadow-memory update and race check for one access, shared by the serial
-/// detector (and unit tests).
-pub(crate) fn check_access<Q: CurrentSpQuery>(
-    alg: &Q,
-    shadow: &mut ShadowMemory,
-    report: &mut RaceReport,
-    current: ThreadId,
-    loc: u32,
-    kind: AccessKind,
-) {
-    let cell = shadow.cell_mut(loc);
-    match kind {
-        AccessKind::Write => {
-            if let Some(w) = cell.writer {
-                if w != current && alg.parallel_with_current(w) {
-                    report.push(Race {
-                        loc,
-                        earlier: w,
-                        later: current,
-                        kind: RaceKind::WriteWrite,
-                    });
-                }
-            }
-            if let Some(r) = cell.reader {
-                if r != current && alg.parallel_with_current(r) {
-                    report.push(Race {
-                        loc,
-                        earlier: r,
-                        later: current,
-                        kind: RaceKind::ReadWrite,
-                    });
-                }
-            }
-            cell.writer = Some(current);
-        }
-        AccessKind::Read => {
-            if let Some(w) = cell.writer {
-                if w != current && alg.parallel_with_current(w) {
-                    report.push(Race {
-                        loc,
-                        earlier: w,
-                        later: current,
-                        kind: RaceKind::WriteRead,
-                    });
-                }
-            }
-            // Keep the reader that is "deepest": replace only a reader that
-            // serially precedes the current thread (Feng–Leiserson rule).
-            let replace = match cell.reader {
-                None => true,
-                Some(r) => r == current || alg.precedes_current(r),
-            };
-            if replace {
-                cell.reader = Some(current);
-            }
-        }
+    pub fn run<'t, A: SpBackend<'t>>(
+        tree: &'t ParseTree,
+        script: &AccessScript,
+    ) -> (RaceReport, A) {
+        detect_races(tree, script, BackendConfig::serial())
     }
 }
 
@@ -107,8 +43,10 @@ pub(crate) fn check_access<Q: CurrentSpQuery>(
 mod tests {
     use super::*;
     use crate::access::Access;
+    use crate::report::RaceKind;
     use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
     use sptree::builder::Ast;
+    use sptree::tree::ThreadId;
 
     /// P(write x, write x): a definite write-write race.
     fn racy_parallel_writes() -> (ParseTree, AccessScript) {

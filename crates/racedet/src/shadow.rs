@@ -12,10 +12,11 @@
 //!   reader precedes `t` (keeping a "deepest" reader that still races with any
 //!   later conflicting write).
 //!
-//! The serial detector owns the cells outright; the parallel detector wraps
-//! each cell in a lock ([`SyncShadowMemory`]) because logically parallel
-//! threads may access the same location concurrently — which is precisely
-//! when a race exists and must still be reported, not missed or corrupted.
+//! The generic engine wraps each cell in a lock ([`SyncShadowMemory`]):
+//! logically parallel threads may access the same location concurrently —
+//! which is precisely when a race exists and must still be reported, not
+//! missed or corrupted.  Serial backend runs take the same (uncontended)
+//! locks, which keeps one engine code path for all six backends.
 
 use parking_lot::Mutex;
 use sptree::tree::ThreadId;
@@ -29,47 +30,7 @@ pub struct ShadowCell {
     pub reader: Option<ThreadId>,
 }
 
-/// Shadow memory for single-threaded (serial) detection.
-#[derive(Clone, Debug, Default)]
-pub struct ShadowMemory {
-    cells: Vec<ShadowCell>,
-}
-
-impl ShadowMemory {
-    /// Shadow memory covering `locations` locations.
-    pub fn new(locations: u32) -> Self {
-        ShadowMemory {
-            cells: vec![ShadowCell::default(); locations as usize],
-        }
-    }
-
-    /// Number of shadowed locations.
-    pub fn len(&self) -> usize {
-        self.cells.len()
-    }
-
-    /// True if no locations are shadowed.
-    pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
-    }
-
-    /// Access a cell.
-    pub fn cell(&self, loc: u32) -> &ShadowCell {
-        &self.cells[loc as usize]
-    }
-
-    /// Mutably access a cell.
-    pub fn cell_mut(&mut self, loc: u32) -> &mut ShadowCell {
-        &mut self.cells[loc as usize]
-    }
-
-    /// Approximate heap bytes used.
-    pub fn space_bytes(&self) -> usize {
-        self.cells.capacity() * std::mem::size_of::<ShadowCell>()
-    }
-}
-
-/// Shadow memory with per-cell locks for the parallel detector.
+/// Shadow memory with per-cell locks, used by the generic detection engine.
 pub struct SyncShadowMemory {
     cells: Vec<Mutex<ShadowCell>>,
 }
@@ -104,11 +65,11 @@ mod tests {
 
     #[test]
     fn cells_start_empty() {
-        let shadow = ShadowMemory::new(8);
+        let shadow = SyncShadowMemory::new(8);
         assert_eq!(shadow.len(), 8);
         for loc in 0..8 {
-            assert!(shadow.cell(loc).writer.is_none());
-            assert!(shadow.cell(loc).reader.is_none());
+            assert!(shadow.lock(loc).writer.is_none());
+            assert!(shadow.lock(loc).reader.is_none());
         }
     }
 

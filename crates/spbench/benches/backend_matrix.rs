@@ -1,0 +1,86 @@
+//! The full backend matrix through the unified `SpBackend` trait.
+//!
+//! One generic race-detection engine (`racedet::detect_races`), six SP
+//! maintainers, the same instrumented program: this bench is the performance
+//! face of the `spconform` differential harness — it measures what Figure 3
+//! and Theorems 5/10 predict, but through the *single* code path every
+//! backend now shares, so the numbers are directly comparable (any constant
+//! engine overhead is identical across rows).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use racedet::detect_races;
+use sphybrid::{HybridBackend, NaiveBackend};
+use spmaint::api::{BackendConfig, SpBackend};
+use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
+use workloads::{disjoint_writes, Workload, WorkloadKind};
+
+fn backend_matrix(c: &mut Criterion) {
+    // Cilk-form workload so every backend — including SP-hybrid — runs it.
+    let w = Workload::build(WorkloadKind::Fib, 10_000, 1, 3);
+    let script = disjoint_writes(&w.tree, 4);
+    let accesses = script.total_accesses() as u64;
+
+    let mut group = c.benchmark_group("backend-matrix/race-detection");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(accesses));
+
+    macro_rules! bench_backend {
+        ($label:expr, $ty:ty, $workers:expr) => {
+            group.bench_function($label, |b| {
+                b.iter(|| {
+                    detect_races::<$ty>(&w.tree, &script, BackendConfig::with_workers($workers))
+                        .0
+                        .len()
+                })
+            });
+        };
+    }
+    bench_backend!("sp-order", SpOrder, 1);
+    bench_backend!("sp-bags", SpBags, 1);
+    bench_backend!("english-hebrew", EnglishHebrewLabels, 1);
+    bench_backend!("offset-span", OffsetSpanLabels, 1);
+    bench_backend!("naive-locked", NaiveBackend, 1);
+    bench_backend!("sp-hybrid-serial", HybridBackend, 1);
+    bench_backend!("sp-hybrid-p4", HybridBackend, 4);
+    bench_backend!("naive-locked-p4", NaiveBackend, 4);
+    group.finish();
+
+    // Printed summary with the space column (Figure 3's other axis), pulled
+    // from the backends the generic engine hands back.
+    println!("\n=== backend matrix: ns/access and structure space ===");
+    macro_rules! report {
+        ($label:expr, $ty:ty, $workers:expr) => {{
+            let start = std::time::Instant::now();
+            let (report, backend) = detect_races::<$ty>(
+                &w.tree,
+                &script,
+                BackendConfig::with_workers($workers),
+            );
+            let elapsed = start.elapsed();
+            println!(
+                "  {:<20} {:>9.1} ns/access  {:>9} B  ({} races)",
+                backend.backend_name(),
+                elapsed.as_nanos() as f64 / accesses as f64,
+                backend.backend_space_bytes(),
+                report.len()
+            );
+        }};
+    }
+    report!("sp-order", SpOrder, 1);
+    report!("sp-bags", SpBags, 1);
+    report!("english-hebrew", EnglishHebrewLabels, 1);
+    report!("offset-span", OffsetSpanLabels, 1);
+    report!("naive-locked", NaiveBackend, 1);
+    report!("sp-hybrid-serial", HybridBackend, 1);
+    report!("sp-hybrid-p4", HybridBackend, 4);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = backend_matrix
+}
+criterion_main!(benches);

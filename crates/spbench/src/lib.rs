@@ -14,6 +14,9 @@
 //! * `ablations` — design-choice ablations: two-level vs single-level order
 //!   maintenance, path compression vs rank-only union-find, SP-hybrid vs the
 //!   naive globally-locked SP-order of §3, lock-free query retries.
+//! * `backend_matrix` — all six SP maintainers behind the unified
+//!   `spmaint::SpBackend` trait through the one generic race-detection
+//!   engine (`racedet::detect_races`), so rows are directly comparable.
 
 use spmaint::api::OnTheFlySp;
 use spmaint::run_serial;

@@ -1,0 +1,781 @@
+//! Differential conformance harness for the SP-maintenance backends.
+//!
+//! The paper's central claim is that SP-order, SP-bags, the two label-based
+//! baselines, the naive locked SP-order, and SP-hybrid all answer the *same*
+//! series-parallel queries with different cost profiles.  This crate checks
+//! that claim mechanically: it generates random Cilk programs in several
+//! shapes, drives **every** backend through the unified
+//! [`spmaint::SpBackend`] trait over the same program, and cross-checks
+//!
+//! * every current-thread `SP-PRECEDES` answer issued *during* the run
+//!   against the [`SpOracle`] LCA ground truth,
+//! * every arbitrary-pair relation of the full backends
+//!   ([`spmaint::FullSpBackend`]) after the run,
+//! * the race reports of the generic detection engine
+//!   ([`racedet::detect_races`]) across all backend instantiations —
+//!   bit-identical for deterministic single-worker runs, equal racy-location
+//!   sets (and equal to the injected ground truth) for multi-worker runs.
+//!
+//! Failures are minimized with the `proptest` shrinker to a replayable
+//! `(shape, size, seed)` triple plus the shrunk parse tree, so a red run
+//! prints something a human can act on instead of a 300-thread random dump.
+//!
+//! The sweep entry point [`run_sweep`] honors two environment variables:
+//! `SPCONFORM_SEED` (base seed, default `0xC0FFEE`) and `SPCONFORM_CASES`
+//! (cases per shape, default 200) — CI runs the sweep under several seeds.
+
+use parking_lot::Mutex;
+use racedet::detect_races;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmaint::api::{BackendConfig, SpBackend};
+use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder, SpQuery};
+use sphybrid::{HybridBackend, NaiveBackend};
+use sptree::cilk::{CilkProgram, Procedure, SyncBlock};
+use sptree::generate::{random_cilk_program, random_sp_ast, CilkGenParams};
+use sptree::oracle::SpOracle;
+use sptree::tree::{NodeKind, ParseTree, ThreadId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use workloads::{disjoint_writes, inject_races};
+
+// ---------------------------------------------------------------------------
+// Program shapes
+// ---------------------------------------------------------------------------
+
+/// The program-shape families the harness sweeps over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShapeKind {
+    /// Randomized divide-and-conquer recursion (fib-style spawning).
+    DivideAndConquer,
+    /// One sync block spawning every iteration (Cilk `for … spawn; sync`).
+    ParallelLoop,
+    /// A chain of procedures each spawning one child: maximal spawn nesting.
+    DeepNesting,
+    /// Fully random canonical Cilk program ([`random_cilk_program`]).
+    RandomCilk,
+    /// Random series-parallel tree that is *not* in canonical Cilk form;
+    /// exercises every backend except SP-hybrid (which, like the paper,
+    /// assumes Cilk canonical form).
+    RandomSp,
+}
+
+impl ShapeKind {
+    /// Every shape, in sweep order.
+    pub const ALL: [ShapeKind; 5] = [
+        ShapeKind::DivideAndConquer,
+        ShapeKind::ParallelLoop,
+        ShapeKind::DeepNesting,
+        ShapeKind::RandomCilk,
+        ShapeKind::RandomSp,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeKind::DivideAndConquer => "divide-and-conquer",
+            ShapeKind::ParallelLoop => "parallel-loop",
+            ShapeKind::DeepNesting => "deep-nesting",
+            ShapeKind::RandomCilk => "random-cilk",
+            ShapeKind::RandomSp => "random-sp",
+        }
+    }
+
+    /// Whether trees of this shape are in canonical Cilk form (a
+    /// precondition of the SP-hybrid backend).
+    pub fn is_cilk_form(self) -> bool {
+        !matches!(self, ShapeKind::RandomSp)
+    }
+
+    /// Build the deterministic tree for `(self, size, seed)`.  `size` scales
+    /// the program monotonically (it is the shrink knob of the minimizer);
+    /// `seed` varies the random choices.
+    pub fn build_tree(self, size: u32, seed: u64) -> ParseTree {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5BC0_4F02);
+        match self {
+            ShapeKind::DivideAndConquer => {
+                let depth = 2 + size / 6; // 4..=28 → depth 2..=6
+                CilkProgram::new(dandc_proc(depth.min(6), &mut rng)).build_tree()
+            }
+            ShapeKind::ParallelLoop => {
+                let iterations = 1 + size as usize + rng.gen_range(0..3usize);
+                let mut block = SyncBlock::new().work(1);
+                for _ in 0..iterations {
+                    block = block.spawn(Procedure::single(
+                        SyncBlock::new().work(1 + rng.gen_range(0..3u64)),
+                    ));
+                }
+                CilkProgram::new(Procedure::single(block.work(1))).build_tree()
+            }
+            ShapeKind::DeepNesting => {
+                let depth = 1 + size;
+                let mut proc = Procedure::single(SyncBlock::new().work(1));
+                for _ in 0..depth {
+                    proc = Procedure::single(SyncBlock::new().work(1).spawn(proc));
+                }
+                CilkProgram::new(proc).build_tree()
+            }
+            ShapeKind::RandomCilk => {
+                let params = CilkGenParams {
+                    max_depth: 2 + size / 6,
+                    max_blocks: 2,
+                    max_stmts: 3,
+                    spawn_prob: 0.45 + (seed % 20) as f64 / 100.0,
+                    work: 2,
+                };
+                CilkProgram::new(random_cilk_program(params, seed)).build_tree()
+            }
+            ShapeKind::RandomSp => random_sp_ast(2 + 2 * size as usize, 0.5, seed).build(),
+        }
+    }
+}
+
+/// Randomized divide-and-conquer procedure: every level spawns two children
+/// (the second possibly shallower), with optional serial work around the
+/// spawns and an optional second sync block after the join.
+fn dandc_proc(depth: u32, rng: &mut StdRng) -> Procedure {
+    if depth == 0 {
+        return Procedure::single(SyncBlock::new().work(1 + rng.gen_range(0..3u64)));
+    }
+    let mut block = SyncBlock::new();
+    if rng.gen_bool(0.5) {
+        block = block.work(1);
+    }
+    let shallower = depth.saturating_sub(1 + rng.gen_range(0..2u32));
+    block = block
+        .spawn(dandc_proc(depth - 1, rng))
+        .spawn(dandc_proc(shallower, rng))
+        .work(1);
+    let mut proc = Procedure::new().block(block);
+    if rng.gen_bool(0.5) {
+        proc = proc.block(SyncBlock::new().work(1));
+    }
+    proc
+}
+
+// ---------------------------------------------------------------------------
+// Backends under test
+// ---------------------------------------------------------------------------
+
+/// The six SP maintainers driven through [`spmaint::SpBackend`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// SP-order (this paper, §2).
+    SpOrder,
+    /// SP-bags (Feng–Leiserson).
+    SpBags,
+    /// English-Hebrew static labels (Nudler–Rudolph style).
+    EnglishHebrew,
+    /// Offset-span labels (Mellor-Crummey).
+    OffsetSpan,
+    /// Naive globally-locked shared SP-order (§3 strawman).
+    Naive,
+    /// Two-tier SP-hybrid (§4–§7); requires canonical Cilk form.
+    Hybrid,
+}
+
+impl BackendKind {
+    /// All six backends.
+    pub const ALL: [BackendKind; 6] = [
+        BackendKind::SpOrder,
+        BackendKind::SpBags,
+        BackendKind::EnglishHebrew,
+        BackendKind::OffsetSpan,
+        BackendKind::Naive,
+        BackendKind::Hybrid,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::SpOrder => "sp-order",
+            BackendKind::SpBags => "sp-bags",
+            BackendKind::EnglishHebrew => "english-hebrew",
+            BackendKind::OffsetSpan => "offset-span",
+            BackendKind::Naive => "naive-locked",
+            BackendKind::Hybrid => "sp-hybrid",
+        }
+    }
+
+    /// Can this backend run programs of the given shape?
+    pub fn supports(self, shape: ShapeKind) -> bool {
+        self != BackendKind::Hybrid || shape.is_cilk_form()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One differential case
+// ---------------------------------------------------------------------------
+
+/// What one [`check_case`] run did (aggregated by the sweep).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaseStats {
+    /// Threads of the generated program.
+    pub threads: u64,
+    /// Current-thread queries cross-checked against the oracle.
+    pub queries: u64,
+    /// Arbitrary-pair relations cross-checked on full backends.
+    pub pair_queries: u64,
+    /// Races injected (and required to be found exactly) in the race check.
+    pub injected_races: u64,
+}
+
+/// A single disagreement between a backend and the ground truth.
+#[derive(Clone, Debug)]
+pub struct Discrepancy {
+    /// Backend that disagreed.
+    pub backend: &'static str,
+    /// What went wrong, human-readable.
+    pub detail: String,
+}
+
+/// A conformance failure minimized to a replayable case.
+#[derive(Clone, Debug)]
+pub struct ConformanceFailure {
+    /// Shape of the failing program.
+    pub shape: ShapeKind,
+    /// Minimized size knob.
+    pub size: u32,
+    /// Seed reproducing the failure (together with shape and size).
+    pub seed: u64,
+    /// Worker count of the failing configuration.
+    pub workers: usize,
+    /// The disagreement at the minimized case.
+    pub discrepancy: Discrepancy,
+    /// The shrunk parse tree, rendered as an S-expression.
+    pub tree: String,
+}
+
+impl std::fmt::Display for ConformanceFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "conformance failure in backend `{}` (shape={}, size={}, seed={:#x}, workers={})",
+            self.discrepancy.backend,
+            self.shape.name(),
+            self.size,
+            self.seed,
+            self.workers
+        )?;
+        writeln!(f, "  {}", self.discrepancy.detail)?;
+        writeln!(f, "  shrunk tree: {}", self.tree)?;
+        write!(
+            f,
+            "  replay: spconform::check_case(ShapeKind::{:?}, {}, {:#x}, {})",
+            self.shape, self.size, self.seed, self.workers
+        )
+    }
+}
+
+/// Render a parse tree as a compact S-expression: `S(u0, P(u1, u2))`.
+pub fn tree_sexpr(tree: &ParseTree) -> String {
+    fn rec(tree: &ParseTree, node: sptree::tree::NodeId, out: &mut String) {
+        match tree.kind(node) {
+            NodeKind::Leaf(t) => out.push_str(&format!("u{}", t.0)),
+            kind => {
+                out.push(if kind == NodeKind::S { 'S' } else { 'P' });
+                out.push('(');
+                rec(tree, tree.left(node), out);
+                out.push_str(", ");
+                rec(tree, tree.right(node), out);
+                out.push(')');
+            }
+        }
+    }
+    if tree.num_nodes() > 512 {
+        return format!("<{} nodes, too large to render>", tree.num_nodes());
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), &mut out);
+    out
+}
+
+/// Run backend `B` over `tree` on `workers` workers, recording every
+/// current-thread query answer against already-executed threads.  Per-thread
+/// fan-in is capped (deterministically) so huge programs stay affordable.
+fn record_query_run<'t, B: SpBackend<'t>>(
+    tree: &'t ParseTree,
+    workers: usize,
+) -> (B, Vec<(ThreadId, ThreadId, bool)>) {
+    let n = tree.num_threads();
+    let stride = (n / 96).max(1) as u32;
+    let executed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let recorded: Mutex<Vec<(ThreadId, ThreadId, bool)>> = Mutex::new(Vec::new());
+    let mut backend = B::build(tree, BackendConfig::with_workers(workers));
+    backend.run_with_queries(tree, |q, current| {
+        let mut answers = Vec::new();
+        for earlier in 0..n as u32 {
+            let earlier = ThreadId(earlier);
+            if earlier == current || !executed[earlier.index()].load(Ordering::Acquire) {
+                continue;
+            }
+            if stride > 1 && (earlier.0.wrapping_mul(2654435761) ^ current.0) % stride != 0 {
+                continue;
+            }
+            answers.push((earlier, current, q.precedes_current(earlier)));
+        }
+        recorded.lock().extend(answers);
+        executed[current.index()].store(true, Ordering::Release);
+    });
+    (backend, recorded.into_inner())
+}
+
+/// Check the recorded current-thread answers of one backend run against the
+/// oracle.
+fn verify_queries(
+    backend: &'static str,
+    recorded: &[(ThreadId, ThreadId, bool)],
+    oracle: &SpOracle<'_>,
+) -> Result<u64, Discrepancy> {
+    for &(earlier, current, answer) in recorded {
+        let truth = oracle.precedes(earlier, current);
+        if answer != truth {
+            return Err(Discrepancy {
+                backend,
+                detail: format!(
+                    "precedes_current(u{}) answered {answer} while u{} was current; oracle says {truth}",
+                    earlier.0, current.0
+                ),
+            });
+        }
+    }
+    Ok(recorded.len() as u64)
+}
+
+/// Check arbitrary-pair relations of a full backend against the oracle
+/// (all pairs for small programs, a deterministic sample for large ones).
+fn verify_pairs<B: SpQuery>(
+    backend_name: &'static str,
+    backend: &B,
+    tree: &ParseTree,
+    oracle: &SpOracle<'_>,
+) -> Result<u64, Discrepancy> {
+    let n = tree.num_threads() as u32;
+    let mut checked = 0u64;
+    let stride = (n / 64).max(1);
+    for a in 0..n {
+        for b in 0..n {
+            if stride > 1 && (a.wrapping_mul(2654435761) ^ b) % stride != 0 {
+                continue;
+            }
+            let (ta, tb) = (ThreadId(a), ThreadId(b));
+            let got = backend.relation(ta, tb);
+            let want = oracle.relation(ta, tb);
+            if got != want {
+                return Err(Discrepancy {
+                    backend: backend_name,
+                    detail: format!("relation(u{a}, u{b}) = {got:?}, oracle says {want:?}"),
+                });
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// Query-conformance pass for one backend kind, serial (`workers == 1`) or
+/// parallel.
+fn check_backend_queries(
+    kind: BackendKind,
+    tree: &ParseTree,
+    oracle: &SpOracle<'_>,
+    workers: usize,
+) -> Result<CaseStats, Discrepancy> {
+    let name = kind.name();
+    let mut stats = CaseStats::default();
+    match kind {
+        BackendKind::SpOrder => {
+            let (backend, rec) = record_query_run::<SpOrder>(tree, workers);
+            stats.queries += verify_queries(name, &rec, oracle)?;
+            stats.pair_queries += verify_pairs(name, &backend, tree, oracle)?;
+        }
+        BackendKind::SpBags => {
+            let (_backend, rec) = record_query_run::<SpBags>(tree, workers);
+            stats.queries += verify_queries(name, &rec, oracle)?;
+        }
+        BackendKind::EnglishHebrew => {
+            let (backend, rec) = record_query_run::<EnglishHebrewLabels>(tree, workers);
+            stats.queries += verify_queries(name, &rec, oracle)?;
+            stats.pair_queries += verify_pairs(name, &backend, tree, oracle)?;
+        }
+        BackendKind::OffsetSpan => {
+            let (backend, rec) = record_query_run::<OffsetSpanLabels>(tree, workers);
+            stats.queries += verify_queries(name, &rec, oracle)?;
+            stats.pair_queries += verify_pairs(name, &backend, tree, oracle)?;
+        }
+        BackendKind::Naive => {
+            let (backend, rec) = record_query_run::<NaiveBackend>(tree, workers);
+            stats.queries += verify_queries(name, &rec, oracle)?;
+            stats.pair_queries += verify_pairs(name, &backend, tree, oracle)?;
+        }
+        BackendKind::Hybrid => {
+            let (_backend, rec) = record_query_run::<HybridBackend>(tree, workers);
+            stats.queries += verify_queries(name, &rec, oracle)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// Race-report conformance: inject known races, then require every serial
+/// backend instantiation of the generic engine to produce the **identical**
+/// report, and every backend (including multi-worker parallel runs) to flag
+/// exactly the injected locations.  Returns the number of injected races.
+/// Public so the tier-1 suite can reuse the exact backend list the sweep
+/// covers instead of duplicating it.
+pub fn check_races(
+    shape: ShapeKind,
+    tree: &ParseTree,
+    seed: u64,
+    workers: usize,
+) -> Result<u64, Discrepancy> {
+    let base = disjoint_writes(tree, 2);
+    let wanted = (tree.num_threads() / 8).min(4);
+    let (script, expected) = inject_races(tree, &base, wanted, seed ^ 0x9E37_79B9);
+    let serial = BackendConfig::serial();
+
+    let (reference, _) = detect_races::<SpOrder>(tree, &script, serial);
+    if reference.racy_locations() != expected {
+        return Err(Discrepancy {
+            backend: "sp-order",
+            detail: format!(
+                "racy locations {:?} != injected {:?}",
+                reference.racy_locations(),
+                expected
+            ),
+        });
+    }
+
+    // Deterministic single-worker runs must agree *race for race*.
+    let serial_reports = [
+        ("sp-bags", detect_races::<SpBags>(tree, &script, serial).0),
+        (
+            "english-hebrew",
+            detect_races::<EnglishHebrewLabels>(tree, &script, serial).0,
+        ),
+        (
+            "offset-span",
+            detect_races::<OffsetSpanLabels>(tree, &script, serial).0,
+        ),
+        ("naive-locked", detect_races::<NaiveBackend>(tree, &script, serial).0),
+    ];
+    for (name, report) in &serial_reports {
+        if report.races() != reference.races() {
+            return Err(Discrepancy {
+                backend: name,
+                detail: format!(
+                    "serial race report diverges from sp-order: {:?} vs {:?}",
+                    report.races(),
+                    reference.races()
+                ),
+            });
+        }
+    }
+    if shape.is_cilk_form() {
+        let (report, _) = detect_races::<HybridBackend>(tree, &script, serial);
+        if report.races() != reference.races() {
+            return Err(Discrepancy {
+                backend: "sp-hybrid",
+                detail: format!(
+                    "serial race report diverges from sp-order: {:?} vs {:?}",
+                    report.races(),
+                    reference.races()
+                ),
+            });
+        }
+    }
+
+    // Multi-worker runs are nondeterministically ordered, but on this script
+    // (each injected location carries exactly one parallel write-write pair)
+    // the racy-location set must still be exactly the injected one.
+    if workers > 1 {
+        let cfg = BackendConfig::with_workers(workers);
+        let (report, _) = detect_races::<NaiveBackend>(tree, &script, cfg);
+        if report.racy_locations() != expected {
+            return Err(Discrepancy {
+                backend: "naive-locked",
+                detail: format!(
+                    "parallel ({workers} workers) racy locations {:?} != injected {:?}",
+                    report.racy_locations(),
+                    expected
+                ),
+            });
+        }
+        if shape.is_cilk_form() {
+            let (report, _) = detect_races::<HybridBackend>(tree, &script, cfg);
+            if report.racy_locations() != expected {
+                return Err(Discrepancy {
+                    backend: "sp-hybrid",
+                    detail: format!(
+                        "parallel ({workers} workers) racy locations {:?} != injected {:?}",
+                        report.racy_locations(),
+                        expected
+                    ),
+                });
+            }
+        }
+    }
+    Ok(expected.len() as u64)
+}
+
+/// Run the full differential check for one `(shape, size, seed)` case.
+///
+/// `workers == 1` checks every backend on a deterministic serial schedule;
+/// `workers > 1` additionally runs the parallel-capable backends (SP-hybrid,
+/// naive) on that many workers.
+pub fn check_case(
+    shape: ShapeKind,
+    size: u32,
+    seed: u64,
+    workers: usize,
+) -> Result<CaseStats, Discrepancy> {
+    let tree = shape.build_tree(size, seed);
+    let oracle = SpOracle::new(&tree);
+    let mut stats = CaseStats {
+        threads: tree.num_threads() as u64,
+        ..CaseStats::default()
+    };
+
+    for kind in BackendKind::ALL {
+        if !kind.supports(shape) {
+            continue;
+        }
+        let s = check_backend_queries(kind, &tree, &oracle, 1)?;
+        stats.queries += s.queries;
+        stats.pair_queries += s.pair_queries;
+    }
+    if workers > 1 {
+        for kind in [BackendKind::Naive, BackendKind::Hybrid] {
+            if !kind.supports(shape) {
+                continue;
+            }
+            let s = check_backend_queries(kind, &tree, &oracle, workers)?;
+            stats.queries += s.queries;
+            stats.pair_queries += s.pair_queries;
+        }
+    }
+    stats.injected_races += check_races(shape, &tree, seed, workers)?;
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------------
+// Sweep + minimization
+// ---------------------------------------------------------------------------
+
+/// Configuration of a conformance sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Base seed; every case derives its own seed from it.
+    pub base_seed: u64,
+    /// Random cases per shape.
+    pub cases_per_shape: u32,
+    /// Worker count for the periodic multi-worker cases.
+    pub parallel_workers: usize,
+    /// Every `parallel_every`-th case also runs the parallel backends
+    /// multi-worker (0 disables parallel cases).
+    pub parallel_every: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            base_seed: 0xC0FFEE,
+            cases_per_shape: 200,
+            parallel_workers: 4,
+            parallel_every: 8,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Read `SPCONFORM_SEED` and `SPCONFORM_CASES` from the environment,
+    /// falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut config = SweepConfig::default();
+        if let Some(seed) = env_u64("SPCONFORM_SEED") {
+            config.base_seed = seed;
+        }
+        if let Some(cases) = env_u64("SPCONFORM_CASES") {
+            config.cases_per_shape = cases as u32;
+        }
+        config
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Aggregate statistics of a green sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Cases run (trees generated).
+    pub cases: u64,
+    /// Total threads across all generated programs.
+    pub threads: u64,
+    /// Current-thread queries verified against the oracle.
+    pub queries: u64,
+    /// Pair relations verified on full backends.
+    pub pair_queries: u64,
+    /// Injected races all backends were required to find exactly.
+    pub injected_races: u64,
+}
+
+/// SplitMix64, used to derive independent per-case seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic seed of case number `case` for shape index `shape_idx`
+/// under `base_seed` — the derivation [`run_sweep`] uses, exported so other
+/// suites draw from the same stream instead of reinventing it.
+pub fn case_seed(base_seed: u64, shape_idx: u64, case: u64) -> u64 {
+    splitmix64(base_seed.wrapping_add(shape_idx << 40).wrapping_add(case))
+}
+
+/// Run `cases_per_shape` differential cases for every shape.  On the first
+/// disagreement the failing case is shrunk (via the `proptest` shrinker) to
+/// the smallest `size` that still fails and returned as a replayable
+/// [`ConformanceFailure`].
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepStats, Box<ConformanceFailure>> {
+    let mut stats = SweepStats::default();
+    for (shape_idx, shape) in ShapeKind::ALL.iter().copied().enumerate() {
+        for case in 0..config.cases_per_shape {
+            let seed = case_seed(config.base_seed, shape_idx as u64, case as u64);
+            let size = 4 + (seed % 25) as u32;
+            let workers = if config.parallel_every > 0 && case % config.parallel_every == 0 {
+                config.parallel_workers
+            } else {
+                1
+            };
+            match check_case(shape, size, seed, workers) {
+                Ok(s) => {
+                    stats.cases += 1;
+                    stats.threads += s.threads;
+                    stats.queries += s.queries;
+                    stats.pair_queries += s.pair_queries;
+                    stats.injected_races += s.injected_races;
+                }
+                Err(discrepancy) => {
+                    return Err(Box::new(minimize_failure(
+                        shape,
+                        size,
+                        seed,
+                        workers,
+                        discrepancy,
+                    )));
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Shrink a failing case to the smallest `size` that still fails and package
+/// it with the shrunk tree for replay.
+///
+/// `original` is the discrepancy observed at the unshrunk case.  Multi-worker
+/// failures can be timing-dependent and may not reproduce on replay; the
+/// shrinker only descends through sizes that failed *when re-checked*, and
+/// the reported discrepancy is always the one actually observed at the
+/// returned size (falling back to `original` if nothing smaller re-failed —
+/// never losing the evidence).
+pub fn minimize_failure(
+    shape: ShapeKind,
+    size: u32,
+    seed: u64,
+    workers: usize,
+    original: Discrepancy,
+) -> ConformanceFailure {
+    let mut last = original;
+    let min_size = proptest::minimize(size, |&s| match check_case(shape, s, seed, workers) {
+        Err(d) => {
+            last = d;
+            true
+        }
+        Ok(_) => false,
+    });
+    ConformanceFailure {
+        shape,
+        size: min_size,
+        seed,
+        workers,
+        discrepancy: last,
+        tree: tree_sexpr(&shape.build_tree(min_size, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_build_deterministic_valid_trees() {
+        for shape in ShapeKind::ALL {
+            for (size, seed) in [(0u32, 1u64), (4, 2), (12, 3), (28, 4)] {
+                let a = shape.build_tree(size, seed);
+                let b = shape.build_tree(size, seed);
+                a.check_invariants();
+                assert!(a.num_threads() >= 1, "{shape:?} size={size}");
+                assert_eq!(a.num_threads(), b.num_threads(), "determinism");
+                assert_eq!(tree_sexpr(&a), tree_sexpr(&b), "determinism");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_size_scales_the_program() {
+        for shape in ShapeKind::ALL {
+            let small = shape.build_tree(2, 9).num_threads();
+            let large = shape.build_tree(28, 9).num_threads();
+            assert!(large > small, "{shape:?}: {small} !< {large}");
+        }
+    }
+
+    #[test]
+    fn check_case_passes_on_every_shape() {
+        for shape in ShapeKind::ALL {
+            let stats = check_case(shape, 10, 42, 2).unwrap_or_else(|d| {
+                panic!("{}: {} — {}", shape.name(), d.backend, d.detail)
+            });
+            assert!(stats.queries > 0, "{shape:?} issued no queries");
+            assert!(stats.pair_queries > 0, "{shape:?} checked no pairs");
+        }
+    }
+
+    #[test]
+    fn minimizer_shrinks_a_synthetic_failure() {
+        // Pretend every case of size >= 7 "fails": the minimizer must land
+        // exactly on 7 and the replayable failure must rebuild its tree.
+        let shape = ShapeKind::ParallelLoop;
+        let min = proptest::minimize(20u32, |&s| s >= 7);
+        assert_eq!(min, 7);
+        let sexpr = tree_sexpr(&shape.build_tree(min, 3));
+        assert!(sexpr.contains("u0"), "tree renders: {sexpr}");
+    }
+
+    #[test]
+    fn sweep_config_reads_env_shapes() {
+        let d = SweepConfig::default();
+        assert_eq!(d.cases_per_shape, 200);
+        assert_eq!(d.base_seed, 0xC0FFEE);
+    }
+
+    #[test]
+    fn tree_sexpr_matches_structure() {
+        use sptree::builder::Ast;
+        let tree = Ast::seq(vec![
+            Ast::leaf(1),
+            Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]),
+        ])
+        .build();
+        assert_eq!(tree_sexpr(&tree), "S(u0, P(u1, u2))");
+    }
+}

@@ -1,0 +1,39 @@
+//! The full differential conformance sweep.
+//!
+//! Runs `SPCONFORM_CASES` (default 200) random programs per shape, derived
+//! from `SPCONFORM_SEED` (default 0xC0FFEE), through all six SP backends and
+//! cross-checks every queried relation against the LCA oracle plus the race
+//! reports of every generic-engine instantiation.  CI runs this under
+//! several seeds; locally, e.g.:
+//!
+//! ```text
+//! SPCONFORM_SEED=0x1234 SPCONFORM_CASES=500 cargo test -p spconform --release
+//! ```
+
+use spconform::{run_sweep, ShapeKind, SweepConfig};
+
+#[test]
+fn differential_sweep_all_shapes() {
+    let config = SweepConfig::from_env();
+    match run_sweep(&config) {
+        Ok(stats) => {
+            assert_eq!(
+                stats.cases,
+                ShapeKind::ALL.len() as u64 * config.cases_per_shape as u64,
+                "every generated case must be checked"
+            );
+            assert!(stats.queries > 0 && stats.pair_queries > 0);
+            println!(
+                "conformance sweep green: {} cases, {} threads, {} current-queries, \
+                 {} pair-queries, {} injected races (seed {:#x})",
+                stats.cases,
+                stats.threads,
+                stats.queries,
+                stats.pair_queries,
+                stats.injected_races,
+                config.base_seed
+            );
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}

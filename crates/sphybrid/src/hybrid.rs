@@ -29,10 +29,12 @@ impl Default for HybridConfig {
 }
 
 impl HybridConfig {
-    /// Convenience constructor.
+    /// Convenience constructor.  Clamps `workers` to ≥ 1, matching
+    /// [`forkrt::WalkConfig::with_workers`] — zero workers could otherwise be
+    /// smuggled in and only be caught deep inside the scheduler.
     pub fn with_workers(workers: usize) -> Self {
         HybridConfig {
-            workers,
+            workers: workers.max(1),
             max_traces: None,
         }
     }
@@ -117,6 +119,11 @@ impl<'t> SpHybrid<'t> {
     /// The trace the computation starts in.
     pub fn root_trace(&self) -> TraceId {
         self.root_trace
+    }
+
+    /// The parse tree this structure was built for.
+    pub fn tree(&self) -> &'t ParseTree {
+        self.tree
     }
 
     /// Number of traces created so far.
@@ -217,6 +224,9 @@ impl<'t> SpHybrid<'t> {
     where
         F: Fn(&SpHybrid<'t>, ThreadId, TraceId) + Sync,
     {
+        // Clamp here too: `HybridConfig { workers: 0, .. }` built as a struct
+        // literal bypasses `with_workers`.
+        let workers = workers.max(1);
         let visitor = HybridVisitor {
             hybrid: self,
             on_thread,
@@ -379,6 +389,22 @@ mod tests {
         for _ in 0..5 {
             check_against_oracle(&tree, 6, 100);
         }
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        // Regression: `HybridConfig { workers: 0 }` (struct literal) used to
+        // reach the scheduler unclamped while `WalkConfig::with_workers`
+        // clamps; both the constructor and `run` now normalize to 1.
+        assert_eq!(HybridConfig::with_workers(0).workers, 1);
+        let tree = CilkProgram::new(fib_like(5, 1)).build_tree();
+        let config = HybridConfig {
+            workers: 0,
+            max_traces: None,
+        };
+        let (_hybrid, stats) = run_hybrid(&tree, config, |_h, _t, _tr| {});
+        assert_eq!(stats.run.steals, 0, "one worker cannot steal");
+        assert_eq!(stats.traces, 1);
     }
 
     #[test]

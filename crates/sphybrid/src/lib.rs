@@ -29,13 +29,21 @@
 //! (one global lock around a shared SP-order structure), used by the
 //! `ablation_naive_lock` benchmark to demonstrate why the two-tier design is
 //! needed.
+//!
+//! Both parallel structures are additionally exposed through the unified
+//! [`spmaint::SpBackend`] trait ([`backend::HybridBackend`],
+//! [`backend::NaiveBackend`]), so the generic race-detection engine in
+//! `racedet` and the `spconform` differential harness can drive them
+//! interchangeably with the serial Figure-3 algorithms.
 
+pub mod backend;
 pub mod global_tier;
 pub mod hybrid;
 pub mod local_tier;
 pub mod naive;
 pub mod trace;
 
+pub use backend::{HybridBackend, NaiveBackend};
 pub use hybrid::{run_hybrid, HybridConfig, HybridStats, SpHybrid};
 pub use naive::NaiveSharedSpOrder;
 pub use trace::TraceId;

@@ -76,6 +76,21 @@ impl<'t> NaiveSharedSpOrder<'t> {
     pub fn lock_acquisitions(&self) -> u64 {
         self.inner.lock().lock_acquisitions
     }
+
+    /// The parse tree this structure was built for.
+    pub fn tree(&self) -> &'t ParseTree {
+        self.tree
+    }
+
+    /// Approximate heap bytes used by the shared structure.
+    pub fn space_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.eng.space_bytes()
+            + inner.heb.space_bytes()
+            + inner.node_eng.capacity() * std::mem::size_of::<OmNode>()
+            + inner.node_heb.capacity() * std::mem::size_of::<OmNode>()
+            + inner.inserted.capacity()
+    }
 }
 
 impl ParallelVisitor for NaiveSharedSpOrder<'_> {

@@ -123,10 +123,175 @@ where
     driver.alg
 }
 
+// ---------------------------------------------------------------------------
+// Unified backend abstraction
+// ---------------------------------------------------------------------------
+
+/// Configuration for building an [`SpBackend`].
+///
+/// Serial backends ignore everything except the tree; parallel backends
+/// (SP-hybrid, the naive locked SP-order) use `workers` as the paper's P.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendConfig {
+    /// Number of workers a parallel backend runs the program on (clamped to
+    /// ≥ 1; serial backends ignore it).
+    pub workers: usize,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig { workers: 1 }
+    }
+}
+
+impl BackendConfig {
+    /// Serial execution (one worker).
+    pub fn serial() -> Self {
+        BackendConfig::default()
+    }
+
+    /// Run parallel backends on `workers` workers (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        BackendConfig {
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// A unified SP-maintenance backend: any structure — serial or parallel —
+/// that can execute a program (an SP parse tree) while maintaining the
+/// series-parallel relation and answering [`CurrentSpQuery`] queries from the
+/// currently executing thread.
+///
+/// This is the single interface behind which all six maintainers of this
+/// repository run: the four serial algorithms of Figure 3 (`SpOrder`,
+/// `SpBags`, `EnglishHebrewLabels`, `OffsetSpanLabels`), the naive
+/// globally-locked parallel SP-order of §3, and the two-tier SP-hybrid of
+/// §4–§7.  One generic race-detection engine (`racedet::detect_races`) and
+/// one differential conformance harness (the `spconform` crate) drive every
+/// backend through it.
+///
+/// The lifetime `'t` is the lifetime of the parse tree; parallel backends
+/// borrow the tree, serial backends ignore the lifetime.
+pub trait SpBackend<'t>: Sized {
+    /// Build an instance for `tree` under `config`.
+    fn build(tree: &'t ParseTree, config: BackendConfig) -> Self;
+
+    /// Execute the whole program once, invoking `on_thread(queries, thread)`
+    /// while each thread is the currently executing one.  `queries` answers
+    /// [`CurrentSpQuery`] queries against any *already executed* thread.
+    ///
+    /// Serial backends call `on_thread` in left-to-right (serial execution)
+    /// order; parallel backends call it concurrently from their workers, which
+    /// is why the callback must be `Fn + Sync`.  `tree` must be the tree the
+    /// backend was built for.  The method is single-shot: it consumes the
+    /// "unfolding" of the program, so call it at most once per instance.
+    fn run_with_queries<F>(&mut self, tree: &'t ParseTree, on_thread: F)
+    where
+        F: Fn(&dyn CurrentSpQuery, ThreadId) + Sync;
+
+    /// Human-readable backend name (used by benches, the conformance harness
+    /// and failure reports).
+    fn backend_name(&self) -> &'static str;
+
+    /// Approximate heap bytes used by the maintenance structures.
+    fn backend_space_bytes(&self) -> usize;
+}
+
+/// Extension trait for backends that also answer **arbitrary-pair**
+/// [`SpQuery`] queries once (or while) the program has run — SP-order, the
+/// two label-based baselines, and the naive locked SP-order.  SP-bags and
+/// SP-hybrid deliberately do not qualify: they only support the weaker
+/// current-thread semantics (which is all a race detector needs).
+///
+/// Blanket-implemented; `B: FullSpBackend` is exactly `B: SpBackend + SpQuery`.
+pub trait FullSpBackend<'t>: SpBackend<'t> + SpQuery {}
+
+impl<'t, B: SpBackend<'t> + SpQuery> FullSpBackend<'t> for B {}
+
+/// Drive a serial [`OnTheFlySp`] algorithm through a left-to-right walk,
+/// surfacing the algorithm as a `&dyn CurrentSpQuery` to `on_thread` while
+/// each thread is current.  This is the shared `run_with_queries`
+/// implementation of every serial backend.
+pub fn run_serial_backend<A: OnTheFlySp>(
+    alg: &mut A,
+    tree: &ParseTree,
+    on_thread: &(dyn Fn(&dyn CurrentSpQuery, ThreadId) + Sync),
+) {
+    struct Driver<'a, A> {
+        alg: &'a mut A,
+        on_thread: &'a (dyn Fn(&dyn CurrentSpQuery, ThreadId) + Sync),
+    }
+    impl<A: OnTheFlySp> TreeVisitor for Driver<'_, A> {
+        fn enter_internal(&mut self, tree: &ParseTree, node: sptree::tree::NodeId) {
+            self.alg.enter_internal(tree, node);
+        }
+        fn between_children(&mut self, tree: &ParseTree, node: sptree::tree::NodeId) {
+            self.alg.between_children(tree, node);
+        }
+        fn leave_internal(&mut self, tree: &ParseTree, node: sptree::tree::NodeId) {
+            self.alg.leave_internal(tree, node);
+        }
+        fn visit_thread(&mut self, tree: &ParseTree, node: sptree::tree::NodeId, thread: ThreadId) {
+            self.alg.visit_thread(tree, node, thread);
+            (self.on_thread)(&*self.alg, thread);
+        }
+    }
+    walk_visitor(tree, &mut Driver { alg, on_thread });
+}
+
+/// Implements [`SpBackend`] for a serial [`OnTheFlySp`] algorithm.  A macro
+/// rather than a blanket impl so that downstream crates (sphybrid) can
+/// implement `SpBackend` for their own parallel structures without coherence
+/// conflicts.
+macro_rules! impl_serial_sp_backend {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl<'t> SpBackend<'t> for $ty {
+            fn build(tree: &'t ParseTree, _config: BackendConfig) -> Self {
+                <Self as OnTheFlySp>::for_tree(tree)
+            }
+            fn run_with_queries<F>(&mut self, tree: &'t ParseTree, on_thread: F)
+            where
+                F: Fn(&dyn CurrentSpQuery, ThreadId) + Sync,
+            {
+                run_serial_backend(self, tree, &on_thread);
+            }
+            fn backend_name(&self) -> &'static str {
+                <Self as OnTheFlySp>::name(self)
+            }
+            fn backend_space_bytes(&self) -> usize {
+                <Self as OnTheFlySp>::space_bytes(self)
+            }
+        }
+    )+};
+}
+
+impl_serial_sp_backend!(crate::SpBags, crate::EnglishHebrewLabels, crate::OffsetSpanLabels);
+
+// SP-order is generic over its order-maintenance structure, so it gets a
+// hand-written impl with the extra type parameter.
+impl<'t, L: om::OrderMaintenance> SpBackend<'t> for crate::SpOrder<L> {
+    fn build(tree: &'t ParseTree, _config: BackendConfig) -> Self {
+        <Self as OnTheFlySp>::for_tree(tree)
+    }
+    fn run_with_queries<F>(&mut self, tree: &'t ParseTree, on_thread: F)
+    where
+        F: Fn(&dyn CurrentSpQuery, ThreadId) + Sync,
+    {
+        run_serial_backend(self, tree, &on_thread);
+    }
+    fn backend_name(&self) -> &'static str {
+        <Self as OnTheFlySp>::name(self)
+    }
+    fn backend_space_bytes(&self) -> usize {
+        <Self as OnTheFlySp>::space_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SpOrder;
+    use crate::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
     use sptree::generate::random_sp_ast;
     use sptree::oracle::SpOracle;
 
@@ -151,5 +316,67 @@ mod tests {
                 );
             }
         });
+    }
+
+    /// Generic over the unified trait: every serial backend must agree with
+    /// the oracle on every current-thread query issued during the run.
+    fn backend_matches_oracle<B: for<'t> SpBackend<'t>>(seed: u64) {
+        let tree = random_sp_ast(50, 0.5, seed).build();
+        let oracle = SpOracle::new(&tree);
+        let mut backend = B::build(&tree, BackendConfig::serial());
+        let mismatches = std::sync::Mutex::new(Vec::new());
+        backend.run_with_queries(&tree, |q, current| {
+            for earlier in 0..current.index() as u32 {
+                let earlier = ThreadId(earlier);
+                if q.precedes_current(earlier) != oracle.precedes(earlier, current) {
+                    mismatches.lock().unwrap().push((earlier, current));
+                }
+            }
+        });
+        assert!(
+            mismatches.lock().unwrap().is_empty(),
+            "{} disagrees with oracle: {:?}",
+            backend.backend_name(),
+            mismatches.lock().unwrap()
+        );
+        assert!(backend.backend_space_bytes() > 0);
+    }
+
+    #[test]
+    fn all_serial_backends_match_oracle_through_unified_trait() {
+        backend_matches_oracle::<SpOrder>(11);
+        backend_matches_oracle::<SpBags>(11);
+        backend_matches_oracle::<EnglishHebrewLabels>(11);
+        backend_matches_oracle::<OffsetSpanLabels>(11);
+    }
+
+    #[test]
+    fn full_backends_answer_pair_queries_after_the_run() {
+        fn check<B: for<'t> FullSpBackend<'t>>() {
+            let tree = random_sp_ast(40, 0.5, 3).build();
+            let oracle = SpOracle::new(&tree);
+            let mut backend = B::build(&tree, BackendConfig::serial());
+            backend.run_with_queries(&tree, |_q, _t| {});
+            for a in 0..tree.num_threads() as u32 {
+                for b in 0..tree.num_threads() as u32 {
+                    assert_eq!(
+                        backend.relation(ThreadId(a), ThreadId(b)),
+                        oracle.relation(ThreadId(a), ThreadId(b)),
+                        "{} pair query ({a},{b})",
+                        backend.backend_name()
+                    );
+                }
+            }
+        }
+        check::<SpOrder>();
+        check::<EnglishHebrewLabels>();
+        check::<OffsetSpanLabels>();
+    }
+
+    #[test]
+    fn backend_config_clamps_workers() {
+        assert_eq!(BackendConfig::with_workers(0).workers, 1);
+        assert_eq!(BackendConfig::with_workers(8).workers, 8);
+        assert_eq!(BackendConfig::serial().workers, 1);
     }
 }

@@ -26,6 +26,12 @@
 //! [`run_serial_with_queries`]), mirroring how a serial race detector executes
 //! the program under test and issues queries from the currently executing
 //! thread.
+//!
+//! Every algorithm additionally implements the unified [`SpBackend`] trait,
+//! the common interface shared with the parallel maintainers in `sphybrid`
+//! (SP-hybrid and the naive locked SP-order).  The generic race-detection
+//! engine in `racedet` and the differential conformance harness in
+//! `spconform` drive all six implementations through that one trait.
 
 pub mod api;
 pub mod english_hebrew;
@@ -33,7 +39,10 @@ pub mod offset_span;
 pub mod sp_bags;
 pub mod sp_order;
 
-pub use api::{run_serial, run_serial_with_queries, CurrentSpQuery, OnTheFlySp, SpQuery};
+pub use api::{
+    run_serial, run_serial_backend, run_serial_with_queries, BackendConfig, CurrentSpQuery,
+    FullSpBackend, OnTheFlySp, SpBackend, SpQuery,
+};
 pub use english_hebrew::EnglishHebrewLabels;
 pub use offset_span::OffsetSpanLabels;
 pub use sp_bags::SpBags;

@@ -2,11 +2,16 @@
 //!
 //! Supports the subset this workspace's tests use: the `proptest!` macro with
 //! an optional `#![proptest_config(...)]` header, range strategies over
-//! integers and floats, `collection::vec`, and `prop_assert_eq!`.  Instead of
-//! upstream's shrinking machinery it runs each property for a fixed number of
+//! integers and floats, `collection::vec`, and `prop_assert_eq!`.  The
+//! `proptest!` macro itself runs each property for a fixed number of
 //! deterministic seeded cases and panics (with the case's inputs) on the
-//! first failure — no minimization, but the seed stream is stable so failures
-//! reproduce.
+//! first failure; the seed stream is stable so failures reproduce.
+//!
+//! Unlike the original shim, basic *shrinking* is available as a standalone
+//! facility ([`Shrink`] + [`minimize`]): greedy descent over candidate
+//! simplifications of integers and vectors.  The `spconform` differential
+//! conformance harness uses it to minimize failing random programs to a
+//! replayable seed plus a shrunk tree instead of dumping the raw random case.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SampleRange, SeedableRng};
@@ -96,6 +101,125 @@ pub mod collection {
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// A value that can propose simpler versions of itself.
+///
+/// Candidates are ordered most-aggressive first (e.g. `0` before `x/2`
+/// before `x - 1` for integers), which lets [`minimize`] converge in few
+/// steps when the failure does not depend on the value at all.
+pub trait Shrink: Sized {
+    /// Candidate simplifications of `self`, most aggressive first.  An empty
+    /// vector means the value is fully shrunk.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let x = *self;
+                let mut out = Vec::new();
+                if x > 0 {
+                    out.push(0);
+                    if x / 2 != 0 {
+                        out.push(x / 2);
+                    }
+                    if x - 1 != x / 2 && x - 1 != 0 {
+                        out.push(x - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let x = *self;
+                let mut out = Vec::new();
+                if x != 0 {
+                    out.push(0);
+                    if x / 2 != 0 {
+                        out.push(x / 2);
+                    }
+                    let toward = if x > 0 { x - 1 } else { x + 1 };
+                    if toward != x / 2 && toward != 0 {
+                        out.push(toward);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_signed!(i8, i16, i32, i64, isize);
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Structural shrinks first: drop the whole vector, then halves, then
+        // single elements.
+        out.push(Vec::new());
+        if n >= 2 {
+            out.push(self[n / 2..].to_vec());
+            out.push(self[..n / 2].to_vec());
+        }
+        for i in 0..n {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Then element-wise shrinks (first candidate per element only, to
+        // keep the fan-out linear).
+        for i in 0..n {
+            if let Some(smaller) = self[i].shrink_candidates().into_iter().next() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Greedily minimize `value` while `still_fails` keeps returning `true`.
+///
+/// Classic shrinking loop: try candidates in order; on the first candidate
+/// that still fails, restart from it.  Stops when no candidate fails or after
+/// `max_steps` accepted shrinks (a safety bound for pathological cases).
+/// `still_fails(&value)` is guaranteed `true` for the returned value if it
+/// was `true` for the input.
+pub fn minimize<T, F>(mut value: T, mut still_fails: F) -> T
+where
+    T: Shrink,
+    F: FnMut(&T) -> bool,
+{
+    let max_steps = 10_000;
+    'outer: for _ in 0..max_steps {
+        for candidate in value.shrink_candidates() {
+            if still_fails(&candidate) {
+                value = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    value
 }
 
 /// Fresh deterministic RNG for case number `case` of a named property.
@@ -188,6 +312,45 @@ mod tests {
             crate::prop_assert!(!v.is_empty() && v.len() < 20);
             crate::prop_assert!(v.iter().all(|&x| x < 10));
         }
+    }
+
+    #[test]
+    fn integer_minimize_finds_the_boundary() {
+        // The smallest failing value of "fails iff x >= 17" is exactly 17.
+        assert_eq!(crate::minimize(1000u32, |&x| x >= 17), 17);
+        // A predicate that ignores the value shrinks all the way to 0.
+        assert_eq!(crate::minimize(123u64, |_| true), 0);
+        // Signed values shrink toward zero from both sides.
+        assert_eq!(crate::minimize(-400i32, |&x| x <= -5), -5);
+    }
+
+    #[test]
+    fn minimize_never_leaves_the_failing_set() {
+        // If the input fails, the output must still fail.
+        let out = crate::minimize(64u32, |&x| x % 2 == 0);
+        assert_eq!(out % 2, 0);
+        assert_eq!(out, 0, "0 is even and minimal");
+    }
+
+    #[test]
+    fn vec_minimize_keeps_only_what_matters() {
+        let start: Vec<u32> = vec![4, 7, 9, 2, 9, 1];
+        let out = crate::minimize(start, |v| v.contains(&9));
+        assert_eq!(out, vec![9]);
+
+        // Element-wise shrinking: length must stay >= 3, values are free.
+        let start: Vec<u32> = vec![10, 20, 30, 40];
+        let out = crate::minimize(start, |v| v.len() >= 3);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|&x| x == 0), "elements shrink to 0: {out:?}");
+    }
+
+    #[test]
+    fn fully_shrunk_values_have_no_candidates() {
+        use crate::Shrink;
+        assert!(0u32.shrink_candidates().is_empty());
+        assert!(0i64.shrink_candidates().is_empty());
+        assert!(Vec::<u32>::new().shrink_candidates().is_empty());
     }
 
     #[test]

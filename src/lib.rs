@@ -15,8 +15,57 @@
 //!   SP-order, SP-bags, English-Hebrew labels, offset-span labels,
 //! * [`forkrt`] — a Cilk-style work-stealing runtime that walks parse trees,
 //! * [`sphybrid`] — the parallel SP-hybrid algorithm (global + local tier),
-//! * [`racedet`] — serial and parallel determinacy-race detectors,
-//! * [`workloads`] — synthetic fork-join programs and access scripts.
+//! * [`racedet`] — one generic race-detection engine over any SP backend,
+//!   with serial and parallel convenience facades,
+//! * [`workloads`] — synthetic fork-join programs and access scripts,
+//! * [`spconform`] — the differential conformance harness cross-checking
+//!   every backend against the LCA oracle on random Cilk programs.
+//!
+//! ## The unified `SpBackend` trait
+//!
+//! All six SP maintainers — [`spmaint::SpOrder`], [`spmaint::SpBags`],
+//! [`spmaint::EnglishHebrewLabels`], [`spmaint::OffsetSpanLabels`], the
+//! naive locked SP-order ([`sphybrid::NaiveBackend`]) and SP-hybrid
+//! ([`sphybrid::HybridBackend`], serial or multi-worker) — implement one
+//! trait, [`spmaint::SpBackend`]: *build a structure for a parse tree, run
+//! the program while maintaining it, answer `SP-PRECEDES` queries from the
+//! currently executing thread*.  Backends that also answer arbitrary-pair
+//! queries additionally satisfy [`spmaint::FullSpBackend`].
+//!
+//! Two subsystems consume the trait generically:
+//!
+//! * [`racedet::detect_races`] — the single Nondeterminator-style detection
+//!   engine; pick a backend type parameter and a
+//!   [`spmaint::BackendConfig`] worker count, get a race report.
+//! * [`spconform`] — the differential harness: random programs in five
+//!   shapes (divide-and-conquer, parallel loop, deep nesting, random Cilk,
+//!   random SP) are driven through **every** backend simultaneously; all
+//!   queried relations are cross-checked against [`sptree::SpOracle`] and
+//!   all race reports against each other, with failing cases shrunk to a
+//!   replayable `(shape, size, seed)` triple.  Sweeps honor the
+//!   `SPCONFORM_SEED` / `SPCONFORM_CASES` environment variables (CI runs
+//!   three seeds per push).
+//!
+//! ```
+//! use sp_maintenance::prelude::*;
+//!
+//! // A tiny racy Cilk program: main spawns two children that both write
+//! // location 0.
+//! let child = |w| Procedure::single(SyncBlock::new().work(w));
+//! let main = Procedure::single(SyncBlock::new().spawn(child(2)).spawn(child(3)).work(1));
+//! let tree = CilkProgram::new(main).build_tree();
+//! let mut script = AccessScript::new(tree.num_threads(), 1);
+//! let a = tree.thread_ids().find(|&t| tree.work_of(t) == 2).unwrap();
+//! let b = tree.thread_ids().find(|&t| tree.work_of(t) == 3).unwrap();
+//! script.push(a, Access::write(0));
+//! script.push(b, Access::write(0));
+//!
+//! // One engine, any backend: serial SP-order or 4-worker SP-hybrid.
+//! let (r1, _) = detect_races::<SpOrder>(&tree, &script, BackendConfig::serial());
+//! let (r2, _) = detect_races::<HybridBackend>(&tree, &script, BackendConfig::with_workers(4));
+//! assert_eq!(r1.racy_locations(), vec![0]);
+//! assert_eq!(r2.racy_locations(), vec![0]);
+//! ```
 //!
 //! ## Quick start
 //!
@@ -45,6 +94,7 @@ pub use dsu;
 pub use forkrt;
 pub use om;
 pub use racedet;
+pub use spconform;
 pub use sphybrid;
 pub use spmaint;
 pub use sptree;
@@ -54,12 +104,14 @@ pub use workloads;
 pub mod prelude {
     pub use om::{OrderMaintenance, TagList, TwoLevelList};
     pub use racedet::{
-        Access, AccessKind, AccessScript, ParallelRaceDetector, RaceReport, SerialRaceDetector,
+        detect_races, Access, AccessKind, AccessScript, ParallelRaceDetector, RaceReport,
+        SerialRaceDetector,
     };
-    pub use sphybrid::{run_hybrid, HybridConfig, SpHybrid};
+    pub use spconform::{check_case, run_sweep, ShapeKind, SweepConfig};
+    pub use sphybrid::{run_hybrid, HybridBackend, HybridConfig, NaiveBackend, SpHybrid};
     pub use spmaint::{
-        run_serial, run_serial_with_queries, CurrentSpQuery, EnglishHebrewLabels, OffsetSpanLabels,
-        OnTheFlySp, SpBags, SpOrder, SpQuery,
+        run_serial, run_serial_with_queries, BackendConfig, CurrentSpQuery, EnglishHebrewLabels,
+        FullSpBackend, OffsetSpanLabels, OnTheFlySp, SpBackend, SpBags, SpOrder, SpQuery,
     };
     pub use sptree::{
         Ast, CilkProgram, NodeId, NodeKind, ParseTree, Procedure, Relation, SpOracle, Stmt,

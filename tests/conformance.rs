@@ -1,0 +1,89 @@
+//! Tier-1 differential conformance suite.
+//!
+//! Fixed-seed version of the `spconform` sweep, small enough for every
+//! `cargo test` run: ≥ 200 random programs across the four Cilk shapes plus
+//! random SP trees, each driven through all six SP backends behind the
+//! unified `SpBackend` trait and cross-checked against the `SpOracle` LCA
+//! ground truth — plus race-report equivalence between the generic
+//! race-detection engine's backend instantiations.  Seeds and backend lists
+//! come from `spconform` itself (`case_seed`, `check_races`) so this suite
+//! cannot drift from what the full sweep covers.
+
+use spconform::{case_seed, check_case, check_races, BackendKind, ShapeKind};
+
+/// Base seed of this fixed suite (distinct from the sweep's default so the
+/// two runs cover different programs).
+const BASE_SEED: u64 = 0x51EE_D0C5;
+
+/// ≥ 200 fixed-seed random programs, every shape, all six backends vs the
+/// oracle (42 cases × 5 shapes = 210 trees; every 4th case also runs the
+/// parallel backends on 2 workers).
+#[test]
+fn six_backends_agree_with_oracle_on_210_random_programs() {
+    const CASES_PER_SHAPE: u64 = 42;
+    let mut trees = 0u64;
+    let mut queries = 0u64;
+    for (shape_idx, shape) in ShapeKind::ALL.iter().copied().enumerate() {
+        for case in 0..CASES_PER_SHAPE {
+            let seed = case_seed(BASE_SEED, shape_idx as u64, case);
+            let size = 4 + (seed % 25) as u32;
+            let workers = if case % 4 == 0 { 2 } else { 1 };
+            match check_case(shape, size, seed, workers) {
+                Ok(stats) => {
+                    trees += 1;
+                    queries += stats.queries + stats.pair_queries;
+                }
+                Err(d) => panic!(
+                    "{} (shape={}, size={size}, seed={seed:#x}, workers={workers}): {}",
+                    d.backend,
+                    shape.name(),
+                    d.detail
+                ),
+            }
+        }
+    }
+    assert_eq!(trees, CASES_PER_SHAPE * ShapeKind::ALL.len() as u64);
+    assert!(trees >= 200, "the tier-1 suite must cover at least 200 trees");
+    assert!(queries > 0);
+}
+
+/// Race-report equivalence between the generic detector's instantiations:
+/// on a deterministic serial schedule all six backends must produce the
+/// *identical* race list; multi-worker parallel runs must flag exactly the
+/// injected racy locations.  `check_races` is the sweep's own checker, so
+/// the backend list is exactly the one the full sweep exercises.
+#[test]
+fn generic_detector_instantiations_report_equivalent_races() {
+    for case in 0..12u64 {
+        let shape = ShapeKind::ALL[(case % 4) as usize]; // the Cilk-form shapes
+        assert!(shape.is_cilk_form());
+        let seed = case_seed(BASE_SEED, 7, case);
+        let tree = shape.build_tree(6 + (seed % 20) as u32, seed);
+        for workers in [2usize, 4] {
+            if let Err(d) = check_races(shape, &tree, seed, workers) {
+                panic!(
+                    "case {case} ({}, workers={workers}): {} — {}",
+                    shape.name(),
+                    d.backend,
+                    d.detail
+                );
+            }
+        }
+    }
+}
+
+/// The conformance harness rejects impossible backend/shape combinations
+/// consistently with its own capability table.
+#[test]
+fn backend_capability_table_is_consistent() {
+    for backend in BackendKind::ALL {
+        for shape in ShapeKind::ALL {
+            let supported = backend.supports(shape);
+            if backend != BackendKind::Hybrid {
+                assert!(supported, "{backend:?} must support every shape");
+            } else {
+                assert_eq!(supported, shape.is_cilk_form());
+            }
+        }
+    }
+}
