@@ -9,23 +9,58 @@
 //! accesses against the shadow memory, issuing `SP-PRECEDES` queries through
 //! the backend's [`CurrentSpQuery`] view.
 //!
-//! The shadow cells are individually locked and the report is behind a mutex
-//! so that the *same* engine code is correct for concurrent backends; for
-//! serial backends the locks are uncontended and the report order is the
-//! deterministic left-to-right order — which is what lets the conformance
-//! harness demand bit-identical reports across serial backends.
+//! ## Batched, mostly lock-free shadow access
+//!
+//! The shadow store is the sharded [`ShardedShadowMemory`]; per-thread
+//! accesses are processed in *batches* by [`check_thread_accesses`]:
+//!
+//! 1. the thread's scripted accesses are stably grouped by shard (stable, so
+//!    same-location accesses keep their program order — all that the
+//!    Feng–Leiserson rules depend on);
+//! 2. within a shard group, each access first tries a **lock-free fast
+//!    path**: one atomic snapshot of the packed cell; if the recorded
+//!    writer/reader already precede the current thread and no cell update is
+//!    needed (the overwhelmingly common case on read-shared data), the
+//!    access completes without any lock;
+//! 3. the first access that must mutate (or report) acquires the shard's
+//!    striped lock **once**, and the rest of the group is processed under
+//!    that single acquisition;
+//! 4. detected races are re-sorted by the access's original script index
+//!    before being pushed, so the report lists each thread's races in
+//!    program order — serial backend runs therefore stay **bit-identical**
+//!    to the unbatched per-cell engine, which is what lets the conformance
+//!    harness demand identical reports across serial backends.
+//!
+//! The fast path is sound because a packed cell is one atomic word: the
+//! snapshot is a linearization point, and the locked path given the same
+//! snapshot would have reported nothing and written nothing.  The report is
+//! behind a mutex so the *same* engine code is correct for concurrent
+//! backends; for serial backends all locks are uncontended.
 
 use parking_lot::Mutex;
 use spmaint::api::{BackendConfig, CurrentSpQuery, SpBackend};
 use sptree::tree::{ParseTree, ThreadId};
 
-use crate::access::{AccessKind, AccessScript};
+use crate::access::{Access, AccessKind, AccessScript};
 use crate::report::{Race, RaceKind, RaceReport};
-use crate::shadow::SyncShadowMemory;
+use crate::shadow::{PerCellShadowMemory, ShadowCell, ShardedShadowMemory};
 
 /// Run race detection over `tree` with backend `B` built under `config`.
 /// Returns the race report and the fully built backend (useful for space
 /// accounting, statistics, and post-run pair queries on full backends).
+///
+/// ```
+/// use racedet::{detect_races, Access, AccessScript};
+/// use spmaint::{BackendConfig, SpOrder};
+/// use sptree::{builder::Ast, tree::ThreadId};
+///
+/// let tree = Ast::par(vec![Ast::leaf(1), Ast::leaf(1)]).build(); // u0 ∥ u1
+/// let mut script = AccessScript::new(2, 1);
+/// script.push(ThreadId(0), Access::write(0));
+/// script.push(ThreadId(1), Access::write(0));
+/// let (report, _) = detect_races::<SpOrder>(&tree, &script, BackendConfig::serial());
+/// assert_eq!(report.racy_locations(), vec![0]);
+/// ```
 pub fn detect_races<'t, B: SpBackend<'t>>(
     tree: &'t ParseTree,
     script: &AccessScript,
@@ -36,35 +71,33 @@ pub fn detect_races<'t, B: SpBackend<'t>>(
         tree.num_threads(),
         "access script must cover every thread of the program"
     );
-    let shadow = SyncShadowMemory::new(script.num_locations());
+    let shadow = ShardedShadowMemory::new(script.num_locations(), config.workers);
     let report = Mutex::new(RaceReport::new());
     let mut backend = B::build(tree, config);
     backend.run_with_queries(tree, |queries, current| {
-        for access in script.of(current) {
-            check_access(queries, &shadow, &report, current, access.loc, access.kind);
-        }
+        check_thread_accesses(queries, &shadow, &report, current, script.of(current));
     });
     (report.into_inner(), backend)
 }
 
-/// Shadow-memory update and race check for one access (Feng–Leiserson rules),
-/// shared by every backend instantiation of the engine.
-pub(crate) fn check_access(
+/// Shadow-memory update for one access (the Feng–Leiserson rules), shared by
+/// the sharded and per-cell paths.  Races are handed to `found` in the fixed
+/// writer-conflict-then-reader-conflict order.
+fn apply_access(
     queries: &dyn CurrentSpQuery,
-    shadow: &SyncShadowMemory,
-    report: &Mutex<RaceReport>,
     current: ThreadId,
     loc: u32,
     kind: AccessKind,
+    cell: &mut ShadowCell,
+    found: &mut impl FnMut(Race),
 ) {
-    let mut cell = shadow.lock(loc);
     let parallel_with =
         |earlier: ThreadId| earlier != current && queries.parallel_with_current(earlier);
     match kind {
         AccessKind::Write => {
             if let Some(w) = cell.writer {
                 if parallel_with(w) {
-                    report.lock().push(Race {
+                    found(Race {
                         loc,
                         earlier: w,
                         later: current,
@@ -74,7 +107,7 @@ pub(crate) fn check_access(
             }
             if let Some(r) = cell.reader {
                 if parallel_with(r) {
-                    report.lock().push(Race {
+                    found(Race {
                         loc,
                         earlier: r,
                         later: current,
@@ -87,7 +120,7 @@ pub(crate) fn check_access(
         AccessKind::Read => {
             if let Some(w) = cell.writer {
                 if parallel_with(w) {
-                    report.lock().push(Race {
+                    found(Race {
                         loc,
                         earlier: w,
                         later: current,
@@ -106,6 +139,113 @@ pub(crate) fn check_access(
             }
         }
     }
+}
+
+/// Can this access complete without the shard lock?  True only for reads
+/// that, per [`apply_access`] run against a consistent snapshot of the cell,
+/// would neither report a race nor mutate the cell — computed by actually
+/// running the rules on a scratch copy, so the fast-path predicate can never
+/// drift from the locked path.  Writes always mutate, so they never qualify
+/// (checked before the load).
+fn read_fast_path(
+    queries: &dyn CurrentSpQuery,
+    shadow: &ShardedShadowMemory,
+    current: ThreadId,
+    access: Access,
+) -> bool {
+    if access.kind != AccessKind::Read {
+        return false;
+    }
+    let before = shadow.load(access.loc);
+    let mut scratch = before;
+    let mut raced = false;
+    apply_access(queries, current, access.loc, access.kind, &mut scratch, &mut |_| {
+        raced = true
+    });
+    !raced && scratch == before
+}
+
+/// Check one thread's scripted accesses against the sharded shadow memory:
+/// stable-grouped by shard, lock-free fast path first, at most one striped
+/// lock acquisition per shard group, races reported in program order.
+///
+/// This is the per-thread body of [`detect_races`], public so benchmarks and
+/// stress tests can drive the exact engine path against hand-built queries.
+pub fn check_thread_accesses(
+    queries: &dyn CurrentSpQuery,
+    shadow: &ShardedShadowMemory,
+    report: &Mutex<RaceReport>,
+    current: ThreadId,
+    accesses: &[Access],
+) {
+    if accesses.is_empty() {
+        return;
+    }
+    // Stable order of access indices grouped by shard.  Stability preserves
+    // program order within a shard, and same-location accesses always share
+    // a shard, so every cell still sees its updates in program order.
+    let mut order: Vec<u32> = (0..accesses.len() as u32).collect();
+    order.sort_by_key(|&i| shadow.shard_of(accesses[i as usize].loc));
+
+    let mut found: Vec<(u32, Race)> = Vec::new();
+    let mut start = 0;
+    while start < order.len() {
+        let shard = shadow.shard_of(accesses[order[start] as usize].loc);
+        let mut end = start + 1;
+        while end < order.len() && shadow.shard_of(accesses[order[end] as usize].loc) == shard {
+            end += 1;
+        }
+        let mut guard = None;
+        for &idx in &order[start..end] {
+            let access = accesses[idx as usize];
+            if guard.is_none() {
+                if read_fast_path(queries, shadow, current, access) {
+                    continue;
+                }
+                // First access of the group that needs exclusivity: one lock
+                // acquisition covers the rest of the group.
+                guard = Some(shadow.lock_shard(shard));
+            }
+            let mut cell = shadow.load(access.loc);
+            let before = cell;
+            apply_access(queries, current, access.loc, access.kind, &mut cell, &mut |race| {
+                found.push((idx, race))
+            });
+            if cell != before {
+                shadow.store(access.loc, cell);
+            }
+        }
+        drop(guard);
+        start = end;
+    }
+
+    if !found.is_empty() {
+        // Shard grouping visited accesses out of script order; restore it so
+        // the report lists this thread's races exactly as the unbatched
+        // engine did (sort is stable: ties keep writer-before-reader order).
+        found.sort_by_key(|&(idx, _)| idx);
+        let mut report = report.lock();
+        for (_, race) in found {
+            report.push(race);
+        }
+    }
+}
+
+/// Shadow check for one access against the per-cell-locked baseline store.
+/// Not used by [`detect_races`] (which runs the sharded path above); kept
+/// public as the measured baseline of the `shadow_contention` benchmark.
+pub fn check_access_per_cell(
+    queries: &dyn CurrentSpQuery,
+    shadow: &PerCellShadowMemory,
+    report: &Mutex<RaceReport>,
+    current: ThreadId,
+    loc: u32,
+    kind: AccessKind,
+) {
+    let mut cell = shadow.lock(loc);
+    apply_access(queries, current, loc, kind, &mut cell, &mut |race| {
+        report.lock().push(race)
+    });
 }
 
 #[cfg(test)]
@@ -168,5 +308,82 @@ mod tests {
             let (r, _b) = detect_races::<NaiveBackend>(&tree, &script, cfg);
             assert_eq!(r.racy_locations(), vec![0], "naive, workers={workers}");
         }
+    }
+
+    /// Reference engine: the pre-sharding per-access per-cell loop, used to
+    /// pin down bit-identical serial behaviour of the batched path.
+    fn detect_per_cell<'t, B: SpBackend<'t>>(
+        tree: &'t ParseTree,
+        script: &AccessScript,
+        config: BackendConfig,
+    ) -> RaceReport {
+        let shadow = PerCellShadowMemory::new(script.num_locations());
+        let report = Mutex::new(RaceReport::new());
+        let mut backend = B::build(tree, config);
+        backend.run_with_queries(tree, |queries, current| {
+            for access in script.of(current) {
+                check_access_per_cell(queries, &shadow, &report, current, access.loc, access.kind);
+            }
+        });
+        report.into_inner()
+    }
+
+    /// A serial program whose accesses hit many locations in a scrambled
+    /// order, with read-write and write-write conflicts across several
+    /// shards — batching must still report the exact per-cell race list.
+    #[test]
+    fn batched_sharded_reports_are_bit_identical_to_per_cell_on_serial_runs() {
+        use sptree::generate::random_sp_ast;
+        let tree = random_sp_ast(120, 0.5, 99).build();
+        let n = tree.num_threads();
+        let mut script = AccessScript::new(n, 64);
+        // Scrambled multi-shard access pattern: every thread touches a
+        // pseudo-random sequence of the 64 locations, mixing reads/writes.
+        for t in tree.thread_ids() {
+            for k in 0..6u32 {
+                let loc = (t.0.wrapping_mul(2654435761).wrapping_add(k * 97)) % 64;
+                let access = if (t.0 + k) % 3 == 0 {
+                    Access::write(loc)
+                } else {
+                    Access::read(loc)
+                };
+                script.push(t, access);
+            }
+        }
+        let cfg = BackendConfig::serial();
+        let (batched, _) = detect_races::<SpOrder>(&tree, &script, cfg);
+        let reference = detect_per_cell::<SpOrder>(&tree, &script, cfg);
+        assert!(!reference.is_empty(), "workload must actually race");
+        assert_eq!(batched.races(), reference.races(), "bit-identical serial reports");
+    }
+
+    #[test]
+    fn fast_path_skips_only_silent_reads() {
+        use sptree::builder::Ast;
+        // S(u0, P(u1, u2)): u0 precedes both; u1 ∥ u2.
+        let tree = Ast::seq(vec![Ast::leaf(1), Ast::par(vec![Ast::leaf(1), Ast::leaf(1)])]).build();
+        let shadow = ShardedShadowMemory::new(4, 1);
+        let report = Mutex::new(RaceReport::new());
+        struct Oracle<'t>(sptree::oracle::SpOracle<'t>, ThreadId);
+        impl CurrentSpQuery for Oracle<'_> {
+            fn precedes_current(&self, earlier: ThreadId) -> bool {
+                self.0.precedes(earlier, self.1)
+            }
+        }
+        // u0 writes loc 0 and reads it back; then u1 reads it (writer
+        // precedes, reader u0 precedes → slow path replaces reader), and u2
+        // reads it (reader u1 is parallel → pure fast path, no mutation).
+        let q0 = Oracle(sptree::oracle::SpOracle::new(&tree), ThreadId(0));
+        check_thread_accesses(&q0, &shadow, &report, ThreadId(0), &[Access::write(0), Access::read(0)]);
+        assert_eq!(shadow.load(0).reader, Some(ThreadId(0)));
+        let q1 = Oracle(sptree::oracle::SpOracle::new(&tree), ThreadId(1));
+        assert!(!read_fast_path(&q1, &shadow, ThreadId(1), Access::read(0)), "reader must be replaced");
+        check_thread_accesses(&q1, &shadow, &report, ThreadId(1), &[Access::read(0)]);
+        assert_eq!(shadow.load(0).reader, Some(ThreadId(1)));
+        let q2 = Oracle(sptree::oracle::SpOracle::new(&tree), ThreadId(2));
+        assert!(read_fast_path(&q2, &shadow, ThreadId(2), Access::read(0)), "parallel reader stays");
+        check_thread_accesses(&q2, &shadow, &report, ThreadId(2), &[Access::read(0)]);
+        assert_eq!(shadow.load(0).reader, Some(ThreadId(1)), "fast path left the cell untouched");
+        assert!(report.lock().is_empty(), "read-shared data after a preceding write is race-free");
     }
 }

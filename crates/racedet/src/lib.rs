@@ -21,8 +21,16 @@
 //!   serial algorithm as the backend this is the classic left-to-right
 //!   simulating detector;
 //! * [`parallel::ParallelRaceDetector`] — the engine instantiated with the
-//!   SP-hybrid backend on the `forkrt` work-stealing scheduler, with per-cell
-//!   locks on the shadow memory.
+//!   SP-hybrid backend on the `forkrt` work-stealing scheduler.
+//!
+//! The shadow store is the sharded, cache-aware
+//! [`shadow::ShardedShadowMemory`]: packed atomic cells under striped locks
+//! sized to the worker count, with a lock-free fast path and per-thread
+//! shard batching in the engine (see [`engine`] and the repository-root
+//! `ARCHITECTURE.md#race-detection-racedet` for the design; the superseded
+//! one-`Mutex`-per-cell store survives as
+//! [`shadow::PerCellShadowMemory`], the `shadow_contention` benchmark's
+//! baseline).
 //!
 //! Memory accesses are provided as per-thread *access scripts*
 //! ([`access::AccessScript`]), the synthetic stand-in for instrumenting a real
@@ -36,8 +44,8 @@ pub mod serial;
 pub mod shadow;
 
 pub use access::{Access, AccessKind, AccessScript};
-pub use engine::detect_races;
+pub use engine::{check_access_per_cell, check_thread_accesses, detect_races};
 pub use parallel::ParallelRaceDetector;
 pub use report::{Race, RaceKind, RaceReport};
 pub use serial::SerialRaceDetector;
-pub use shadow::{ShadowCell, SyncShadowMemory};
+pub use shadow::{PerCellShadowMemory, ShadowCell, ShardedShadowMemory};

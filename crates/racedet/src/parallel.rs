@@ -1,8 +1,9 @@
 //! Parallel on-the-fly determinacy-race detector built on SP-hybrid.
 //!
 //! The program runs on the `forkrt` work-stealing scheduler; every worker
-//! performs its threads' scripted accesses against a shared, per-cell-locked
-//! shadow memory and issues `SP-PRECEDES` queries through the SP-hybrid
+//! performs its threads' scripted accesses against the shared sharded
+//! shadow memory (striped locks, lock-free read fast path, per-thread shard
+//! batching) and issues `SP-PRECEDES` queries through the SP-hybrid
 //! structure (whose global-tier queries are lock-free and whose local-tier
 //! queries are per-trace).  This is the end-to-end system the paper's
 //! performance theorem (Theorem 10) is about: the instrumented program keeps
@@ -21,9 +22,8 @@ use crate::report::RaceReport;
 /// Parallel race detector.
 ///
 /// A thin wrapper over the generic engine ([`detect_races`]) instantiated
-/// with the SP-hybrid backend on `workers` workers; the shadow cells are
-/// individually locked inside the engine, exactly as before the engine was
-/// factored out.
+/// with the SP-hybrid backend on `workers` workers; the engine's sharded
+/// shadow memory sizes its striped locks to this worker count.
 pub struct ParallelRaceDetector;
 
 impl ParallelRaceDetector {

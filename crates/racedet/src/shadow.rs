@@ -12,17 +12,34 @@
 //!   reader precedes `t` (keeping a "deepest" reader that still races with any
 //!   later conflicting write).
 //!
-//! The generic engine wraps each cell in a lock ([`SyncShadowMemory`]):
-//! logically parallel threads may access the same location concurrently —
+//! Two implementations exist:
+//!
+//! * [`ShardedShadowMemory`] — what the generic engine uses.  Cells are
+//!   packed `(writer, reader)` words in one `AtomicU64` each, grouped into
+//!   power-of-two blocks of consecutive cells per *shard*; one cache-padded
+//!   striped lock per shard (lock count sized to the worker count) serializes
+//!   mutations within a shard.  Because a cell is a single atomic word, an
+//!   unlocked load always yields a consistent snapshot — the seqlock pattern
+//!   with the version counter collapsed away — which gives the engine a
+//!   lock-free fast path for the common "recorded reader/writer already
+//!   precedes the current thread" re-check (see
+//!   `engine::check_thread_accesses`).
+//! * [`PerCellShadowMemory`] — the previous one-`Mutex`-per-cell design, kept
+//!   as the measured baseline of the `shadow_contention` benchmark (see
+//!   `BENCH_shadow.json` at the repository root).
+//!
+//! Logically parallel threads may access the same location concurrently —
 //! which is precisely when a race exists and must still be reported, not
 //! missed or corrupted.  Serial backend runs take the same (uncontended)
-//! locks, which keeps one engine code path for all six backends.
+//! paths, which keeps one engine code path for all six backends.
 
+use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use sptree::tree::ThreadId;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shadow state of one location.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct ShadowCell {
     /// Last recorded writer.
     pub writer: Option<ThreadId>,
@@ -30,15 +47,143 @@ pub struct ShadowCell {
     pub reader: Option<ThreadId>,
 }
 
-/// Shadow memory with per-cell locks, used by the generic detection engine.
-pub struct SyncShadowMemory {
+/// Sentinel for "no recorded thread" in a packed cell word (thread ids are
+/// dense indices starting at 0, so `u32::MAX` can never be a real thread).
+const NONE: u32 = u32::MAX;
+
+fn encode(t: Option<ThreadId>) -> u32 {
+    match t {
+        Some(t) => {
+            debug_assert_ne!(t.0, NONE, "thread id u32::MAX is reserved");
+            t.0
+        }
+        None => NONE,
+    }
+}
+
+fn decode(raw: u32) -> Option<ThreadId> {
+    (raw != NONE).then_some(ThreadId(raw))
+}
+
+fn pack(cell: ShadowCell) -> u64 {
+    ((encode(cell.writer) as u64) << 32) | encode(cell.reader) as u64
+}
+
+fn unpack(word: u64) -> ShadowCell {
+    ShadowCell {
+        writer: decode((word >> 32) as u32),
+        reader: decode(word as u32),
+    }
+}
+
+/// Sharded, cache-aware shadow memory — the engine's shadow store.
+///
+/// Cells live in one flat array of packed `AtomicU64` words.  Consecutive
+/// cells are grouped into power-of-two blocks (`cells_per_shard`, at least a
+/// cache line's worth), each guarded by its own cache-padded striped lock;
+/// the number of locks scales with the worker count, so logically concurrent
+/// threads rarely collide on a lock unless they touch nearby locations.
+/// Mapping by *blocks* rather than interleaving means a thread scanning
+/// consecutive locations stays within one shard, which is what lets the
+/// engine amortize a single lock acquisition over a whole run of same-shard
+/// accesses.
+///
+/// Unlocked readers get consistent snapshots for free ([`Self::load`] is one
+/// atomic load of the packed word); all mutations happen under the shard
+/// lock and publish with a single atomic store, so torn cells cannot exist.
+pub struct ShardedShadowMemory {
+    cells: Vec<AtomicU64>,
+    locks: Vec<CachePadded<Mutex<()>>>,
+    /// `loc >> shard_shift` is the shard of `loc`.
+    shard_shift: u32,
+}
+
+impl ShardedShadowMemory {
+    /// Minimum cells per shard: one 64-byte cache line of packed words, so
+    /// two shards never false-share a line of cells.
+    const MIN_BLOCK: u32 = 8;
+
+    /// Shadow memory covering `locations` locations, with striped locks
+    /// sized for `workers` concurrent workers.
+    pub fn new(locations: u32, workers: usize) -> Self {
+        let workers = workers.max(1) as u32;
+        // Target a power-of-two lock count comfortably above the worker
+        // count, capped by how many cache-line blocks there are to guard.
+        let target_shards = (8 * workers).next_power_of_two();
+        let blocks = locations.div_ceil(Self::MIN_BLOCK).max(1);
+        let shards = target_shards.min(blocks.next_power_of_two());
+        let cells_per_shard = locations
+            .div_ceil(shards)
+            .max(Self::MIN_BLOCK)
+            .next_power_of_two();
+        let shard_shift = cells_per_shard.trailing_zeros();
+        let num_shards = (locations.div_ceil(cells_per_shard)).max(1) as usize;
+        ShardedShadowMemory {
+            cells: (0..locations).map(|_| AtomicU64::new(pack(ShadowCell::default()))).collect(),
+            locks: (0..num_shards).map(|_| CachePadded::new(Mutex::new(()))).collect(),
+            shard_shift,
+        }
+    }
+
+    /// Number of shadowed locations.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no locations are shadowed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of striped shard locks.
+    pub fn num_shards(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Cells per shard (a power of two; consecutive locations share a shard).
+    pub fn cells_per_shard(&self) -> u32 {
+        1 << self.shard_shift
+    }
+
+    /// The shard that guards `loc`.
+    pub fn shard_of(&self, loc: u32) -> usize {
+        (loc >> self.shard_shift) as usize
+    }
+
+    /// Consistent lock-free snapshot of a cell (one atomic load).
+    pub fn load(&self, loc: u32) -> ShadowCell {
+        unpack(self.cells[loc as usize].load(Ordering::Acquire))
+    }
+
+    /// Acquire the striped lock of one shard.  Mutating any cell of the
+    /// shard ([`Self::store`]) requires holding this.
+    pub(crate) fn lock_shard(&self, shard: usize) -> parking_lot::MutexGuard<'_, ()> {
+        self.locks[shard].lock()
+    }
+
+    /// Publish a new cell value.  The caller must hold the shard lock of
+    /// `shard_of(loc)` — enforced by convention inside this crate; the store
+    /// itself is a single atomic release so unlocked [`Self::load`]s always
+    /// see a consistent value.
+    pub(crate) fn store(&self, loc: u32, cell: ShadowCell) {
+        self.cells[loc as usize].store(pack(cell), Ordering::Release);
+    }
+}
+
+/// The previous shadow design: one `Mutex<ShadowCell>` per location.
+///
+/// Superseded by [`ShardedShadowMemory`] in the engine (per-cell locks were
+/// the parallel detector's main contention point) but kept as the measured
+/// baseline the `shadow_contention` benchmark compares against, and as the
+/// simplest-possible reference implementation of the shadow scheme.
+pub struct PerCellShadowMemory {
     cells: Vec<Mutex<ShadowCell>>,
 }
 
-impl SyncShadowMemory {
+impl PerCellShadowMemory {
     /// Shadow memory covering `locations` locations.
     pub fn new(locations: u32) -> Self {
-        SyncShadowMemory {
+        PerCellShadowMemory {
             cells: (0..locations).map(|_| Mutex::new(ShadowCell::default())).collect(),
         }
     }
@@ -65,17 +210,67 @@ mod tests {
 
     #[test]
     fn cells_start_empty() {
-        let shadow = SyncShadowMemory::new(8);
+        let shadow = ShardedShadowMemory::new(8, 1);
         assert_eq!(shadow.len(), 8);
         for loc in 0..8 {
-            assert!(shadow.lock(loc).writer.is_none());
-            assert!(shadow.lock(loc).reader.is_none());
+            assert_eq!(shadow.load(loc), ShadowCell::default());
         }
     }
 
     #[test]
-    fn sync_cells_are_independent() {
-        let shadow = SyncShadowMemory::new(4);
+    fn packed_roundtrip_covers_all_states() {
+        for writer in [None, Some(ThreadId(0)), Some(ThreadId(7)), Some(ThreadId(u32::MAX - 1))] {
+            for reader in [None, Some(ThreadId(3))] {
+                let cell = ShadowCell { writer, reader };
+                assert_eq!(unpack(pack(cell)), cell);
+            }
+        }
+    }
+
+    #[test]
+    fn store_under_lock_is_visible_to_unlocked_load() {
+        let shadow = ShardedShadowMemory::new(4, 2);
+        {
+            let _guard = shadow.lock_shard(shadow.shard_of(0));
+            shadow.store(0, ShadowCell { writer: Some(ThreadId(7)), reader: None });
+            shadow.store(1, ShadowCell { writer: None, reader: Some(ThreadId(9)) });
+        }
+        assert_eq!(shadow.load(0).writer, Some(ThreadId(7)));
+        assert_eq!(shadow.load(1).reader, Some(ThreadId(9)));
+        assert_eq!(shadow.load(2).writer, None);
+    }
+
+    #[test]
+    fn sharding_grows_with_workers_and_maps_blocks() {
+        let small = ShardedShadowMemory::new(1 << 12, 1);
+        let big = ShardedShadowMemory::new(1 << 12, 8);
+        assert!(big.num_shards() >= small.num_shards());
+        assert!(big.num_shards().is_power_of_two() || big.num_shards() == 1);
+        // Block mapping: consecutive locations share a shard...
+        assert_eq!(big.shard_of(0), big.shard_of(1));
+        // ...and every shard index is within the allocated locks.
+        for loc in (0..1u32 << 12).step_by(61) {
+            assert!(big.shard_of(loc) < big.num_shards());
+        }
+        // Blocks are a power of two and at least a cache line of cells.
+        assert!(big.cells_per_shard().is_power_of_two());
+        assert!(big.cells_per_shard() >= ShardedShadowMemory::MIN_BLOCK);
+    }
+
+    #[test]
+    fn tiny_and_empty_shadows_are_valid() {
+        let empty = ShardedShadowMemory::new(0, 4);
+        assert!(empty.is_empty());
+        assert!(empty.num_shards() >= 1);
+        let one = ShardedShadowMemory::new(1, 8);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.shard_of(0), 0);
+        assert_eq!(one.load(0), ShadowCell::default());
+    }
+
+    #[test]
+    fn per_cell_baseline_cells_are_independent() {
+        let shadow = PerCellShadowMemory::new(4);
         {
             let mut c0 = shadow.lock(0);
             c0.writer = Some(ThreadId(7));
@@ -86,5 +281,7 @@ mod tests {
         assert_eq!(shadow.lock(0).writer, Some(ThreadId(7)));
         assert_eq!(shadow.lock(1).reader, Some(ThreadId(9)));
         assert_eq!(shadow.lock(2).writer, None);
+        assert_eq!(shadow.len(), 4);
+        assert!(!shadow.is_empty());
     }
 }

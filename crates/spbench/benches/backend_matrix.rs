@@ -12,7 +12,7 @@ use racedet::detect_races;
 use sphybrid::{HybridBackend, NaiveBackend};
 use spmaint::api::{BackendConfig, SpBackend};
 use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
-use workloads::{disjoint_writes, Workload, WorkloadKind};
+use workloads::{disjoint_writes, shared_read_private_write, Workload, WorkloadKind};
 
 fn backend_matrix(c: &mut Criterion) {
     // Cilk-form workload so every backend — including SP-hybrid — runs it.
@@ -43,6 +43,33 @@ fn backend_matrix(c: &mut Criterion) {
     bench_backend!("sp-hybrid-serial", HybridBackend, 1);
     bench_backend!("sp-hybrid-p4", HybridBackend, 4);
     bench_backend!("naive-locked-p4", NaiveBackend, 4);
+    group.finish();
+
+    // Contended-location workload: the same program, but every thread also
+    // hammers a handful of hot shared locations (read-shared after a
+    // preceding initialization, so race-free) — the scenario the sharded
+    // shadow memory's striped locks and lock-free fast path exist for.
+    let contended = shared_read_private_write(&w.tree, 4, 12);
+    let contended_accesses = contended.total_accesses() as u64;
+    let mut group = c.benchmark_group("backend-matrix/contended-locations");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(contended_accesses));
+    macro_rules! bench_contended {
+        ($label:expr, $ty:ty, $workers:expr) => {
+            group.bench_function($label, |b| {
+                b.iter(|| {
+                    detect_races::<$ty>(&w.tree, &contended, BackendConfig::with_workers($workers))
+                        .0
+                        .len()
+                })
+            });
+        };
+    }
+    bench_contended!("sp-order", SpOrder, 1);
+    bench_contended!("sp-bags", SpBags, 1);
+    bench_contended!("sp-hybrid-serial", HybridBackend, 1);
+    bench_contended!("sp-hybrid-p4", HybridBackend, 4);
+    bench_contended!("naive-locked-p4", NaiveBackend, 4);
     group.finish();
 
     // Printed summary with the space column (Figure 3's other axis), pulled

@@ -1,0 +1,180 @@
+//! Shadow-memory contention: sharded + batched vs per-cell locks.
+//!
+//! The parallel detector's scalability bottleneck before this benchmark
+//! existed was the shadow memory: one `Mutex<ShadowCell>` per location means
+//! every access — even a re-read of data the current thread is already
+//! ordered after — takes a lock that logically parallel threads fight over.
+//! The sharded [`racedet::ShardedShadowMemory`] attacks that three ways
+//! (striped locks sized to the worker count, a lock-free fast path for
+//! silent reads, and per-thread shard batching in the engine); this bench
+//! measures all three against the preserved per-cell baseline
+//! ([`racedet::PerCellShadowMemory`] + [`racedet::check_access_per_cell`])
+//! on the adversarial workload: **few hot locations, many workers**.
+//!
+//! Two scenarios:
+//!
+//! * `hot-read` — thread 0 initializes 4 shared locations, every other
+//!   thread re-reads them many times (plus a private write): race-free, all
+//!   contention, the fast-path showcase;
+//! * `private-scan` — every thread sweeps a run of consecutive private
+//!   locations: no contention at all, isolating pure per-access lock
+//!   overhead and the batching amortization (consecutive cells share a
+//!   shard).
+//!
+//! The trailing report prints a JSON document with ns/access for every
+//! (scenario × engine × backend) cell; the committed `BENCH_shadow.json` at
+//! the repository root is a capture of that output.  Run with
+//! `SPBENCH_SMOKE=1` for the CI smoke pass (single iteration, tiny sizes).
+
+use criterion::{criterion_group, criterion_main, smoke_mode, Criterion, Throughput};
+use parking_lot::Mutex;
+use racedet::{
+    check_access_per_cell, detect_races, Access, AccessScript, PerCellShadowMemory, RaceReport,
+};
+use sphybrid::HybridBackend;
+use spmaint::api::{BackendConfig, SpBackend};
+use spmaint::SpOrder;
+use sptree::cilk::{CilkProgram, Procedure, SyncBlock};
+use sptree::tree::ParseTree;
+use workloads::shared_read_private_write;
+
+/// Flat Cilk parallel loop: main does serial work, spawns `children`
+/// one-thread procedures, syncs.  Thread 0 precedes every other thread.
+fn parallel_loop_tree(children: usize) -> ParseTree {
+    let mut block = SyncBlock::new().work(1);
+    for _ in 0..children {
+        block = block.spawn(Procedure::single(SyncBlock::new().work(1)));
+    }
+    CilkProgram::new(Procedure::single(block.work(1))).build_tree()
+}
+
+/// Every thread writes then re-reads a run of `span` consecutive private
+/// locations — zero sharing, maximal same-shard run length.
+fn private_scan_script(tree: &ParseTree, span: u32) -> AccessScript {
+    let n = tree.num_threads();
+    let mut script = AccessScript::new(n, n as u32 * span);
+    for t in tree.thread_ids() {
+        for i in 0..span {
+            script.push(t, Access::write(t.0 * span + i));
+        }
+        for i in 0..span {
+            script.push(t, Access::read(t.0 * span + i));
+        }
+    }
+    script
+}
+
+/// The engine loop exactly as it was before sharding landed: per-access,
+/// per-cell lock, no batching, no fast path.
+fn detect_per_cell<'t, B: SpBackend<'t>>(
+    tree: &'t ParseTree,
+    script: &AccessScript,
+    config: BackendConfig,
+) -> RaceReport {
+    let shadow = PerCellShadowMemory::new(script.num_locations());
+    let report = Mutex::new(RaceReport::new());
+    let mut backend = B::build(tree, config);
+    backend.run_with_queries(tree, |queries, current| {
+        for access in script.of(current) {
+            check_access_per_cell(queries, &shadow, &report, current, access.loc, access.kind);
+        }
+    });
+    report.into_inner()
+}
+
+struct Scenario {
+    name: &'static str,
+    tree: ParseTree,
+    script: AccessScript,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let (children, hot_accesses, span) = if smoke_mode() { (32, 8, 8) } else { (512, 96, 64) };
+    // Each script is generated against the very tree instance its scenario
+    // benches, so thread ids can never drift between the two.
+    let hot_tree = parallel_loop_tree(children);
+    let hot_script = shared_read_private_write(&hot_tree, 4, hot_accesses);
+    let scan_tree = parallel_loop_tree(children);
+    let scan_script = private_scan_script(&scan_tree, span);
+    vec![
+        Scenario { name: "hot-read", tree: hot_tree, script: hot_script },
+        Scenario { name: "private-scan", tree: scan_tree, script: scan_script },
+    ]
+}
+
+/// (engine, backend label, worker count) rows of the comparison matrix.
+const ENGINES: [&str; 2] = ["per-cell", "sharded"];
+const CONFIGS: [(&str, usize); 3] = [("sp-order", 1), ("sp-hybrid", 4), ("sp-hybrid", 8)];
+
+fn run_once(scenario: &Scenario, engine: &str, backend: &str, workers: usize) -> usize {
+    let cfg = BackendConfig::with_workers(workers);
+    match (engine, backend) {
+        ("per-cell", "sp-order") => detect_per_cell::<SpOrder>(&scenario.tree, &scenario.script, cfg).len(),
+        ("per-cell", _) => detect_per_cell::<HybridBackend>(&scenario.tree, &scenario.script, cfg).len(),
+        (_, "sp-order") => detect_races::<SpOrder>(&scenario.tree, &scenario.script, cfg).0.len(),
+        _ => detect_races::<HybridBackend>(&scenario.tree, &scenario.script, cfg).0.len(),
+    }
+}
+
+fn shadow_contention(c: &mut Criterion) {
+    let scenarios = scenarios();
+    for scenario in &scenarios {
+        let accesses = scenario.script.total_accesses() as u64;
+        let mut group = c.benchmark_group(format!("shadow-contention/{}", scenario.name));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(accesses));
+        for (backend, workers) in CONFIGS {
+            for engine in ENGINES {
+                group.bench_function(format!("{engine}/{backend}-w{workers}"), |b| {
+                    b.iter(|| run_once(scenario, engine, backend, workers))
+                });
+            }
+        }
+        group.finish();
+    }
+
+    // JSON report (captured into BENCH_shadow.json at the repo root): best
+    // of `reps` timed runs per cell, so scheduler noise doesn't inflate a row.
+    let reps = if smoke_mode() { 1 } else { 5 };
+    println!("\n=== BENCH_shadow.json ===");
+    println!("{{");
+    println!("  \"bench\": \"shadow_contention\",");
+    println!("  \"unit\": \"ns_per_access\",");
+    println!("  \"note\": \"best of {reps} runs; per-cell = one Mutex<ShadowCell> per location (pre-sharding engine), sharded = striped locks + lock-free read fast path + per-thread shard batching\",");
+    println!("  \"results\": [");
+    let mut rows = Vec::new();
+    for scenario in &scenarios {
+        let accesses = scenario.script.total_accesses() as u64;
+        for (backend, workers) in CONFIGS {
+            let mut cells = Vec::new();
+            for engine in ENGINES {
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    let start = std::time::Instant::now();
+                    std::hint::black_box(run_once(scenario, engine, backend, workers));
+                    best = best.min(start.elapsed().as_nanos() as f64 / accesses as f64);
+                }
+                cells.push(best);
+            }
+            let speedup = cells[0] / cells[1];
+            rows.push(format!(
+                "    {{ \"scenario\": \"{}\", \"backend\": \"{}\", \"workers\": {}, \
+                 \"per_cell\": {:.1}, \"sharded\": {:.1}, \"speedup\": {:.2} }}",
+                scenario.name, backend, workers, cells[0], cells[1], speedup
+            ));
+        }
+    }
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = shadow_contention
+}
+criterion_main!(benches);

@@ -14,7 +14,12 @@
 //! * the race reports of the generic detection engine
 //!   ([`racedet::detect_races`]) across all backend instantiations —
 //!   bit-identical for deterministic single-worker runs, equal racy-location
-//!   sets (and equal to the injected ground truth) for multi-worker runs.
+//!   sets (and equal to the injected ground truth) for multi-worker runs,
+//! * fully random read/write *access scripts* (no planted ground truth)
+//!   against a brute-force parallel-conflict oracle: serial backends must
+//!   find exactly the oracle's racy locations with bit-identical reports —
+//!   the differential exercise of the reader-replacement rule — while
+//!   multi-worker runs are held to soundness ([`check_random_scripts`]).
 //!
 //! Failures are minimized with the `proptest` shrinker to a replayable
 //! `(shape, size, seed)` triple plus the shrunk parse tree, so a red run
@@ -23,6 +28,23 @@
 //! The sweep entry point [`run_sweep`] honors two environment variables:
 //! `SPCONFORM_SEED` (base seed, default `0xC0FFEE`) and `SPCONFORM_CASES`
 //! (cases per shape, default 200) — CI runs the sweep under several seeds.
+//!
+//! The shape generators double as handy deterministic program factories.
+//! Build a tree, script two parallel writes, detect, assert the race:
+//!
+//! ```
+//! use racedet::{detect_races, Access, AccessScript};
+//! use spconform::ShapeKind;
+//! use spmaint::{BackendConfig, SpOrder};
+//! use sptree::tree::ThreadId;
+//!
+//! let tree = ShapeKind::ParallelLoop.build_tree(4, 7);
+//! let mut script = AccessScript::new(tree.num_threads(), 1);
+//! script.push(ThreadId(1), Access::write(0)); // two parallel loop iterations
+//! script.push(ThreadId(3), Access::write(0)); // write the same location
+//! let (report, _) = detect_races::<SpOrder>(&tree, &script, BackendConfig::serial());
+//! assert_eq!(report.racy_locations(), vec![0]);
+//! ```
 
 use parking_lot::Mutex;
 use racedet::detect_races;
@@ -36,7 +58,7 @@ use sptree::generate::{random_cilk_program, random_sp_ast, CilkGenParams};
 use sptree::oracle::SpOracle;
 use sptree::tree::{NodeKind, ParseTree, ThreadId};
 use std::sync::atomic::{AtomicBool, Ordering};
-use workloads::{disjoint_writes, inject_races};
+use workloads::{disjoint_writes, inject_races, racy_locations_oracle, random_mixed_script};
 
 // ---------------------------------------------------------------------------
 // Program shapes
@@ -217,6 +239,9 @@ pub struct CaseStats {
     pub pair_queries: u64,
     /// Races injected (and required to be found exactly) in the race check.
     pub injected_races: u64,
+    /// Emergent racy locations of the random-mix script check, required to
+    /// be found exactly by every serial backend.
+    pub emergent_races: u64,
 }
 
 /// A single disagreement between a backend and the ground truth.
@@ -516,11 +541,120 @@ pub fn check_races(
     Ok(expected.len() as u64)
 }
 
+/// Random-access-script conformance: a fully random read/write mix (no
+/// planted ground truth) is judged against the brute-force parallel-conflict
+/// oracle.  Serial backends must agree **bit-identically** on the full race
+/// list and find exactly the oracle's racy locations — this is the
+/// differential test of the reader-replacement rule, whose left-to-right
+/// exactness is what makes one recorded reader per location sufficient.
+/// Multi-worker runs process accesses in an arbitrary linear extension of
+/// the SP order, where one recorded reader is *not* guaranteed to catch
+/// every racy location, so they are held to soundness: every reported race
+/// must be a genuine parallel conflict on a genuinely racy location.
+/// Returns the number of oracle racy locations.
+pub fn check_random_scripts(
+    shape: ShapeKind,
+    tree: &ParseTree,
+    seed: u64,
+    workers: usize,
+) -> Result<u64, Discrepancy> {
+    let script = random_mixed_script(tree, 4, 3, seed ^ 0x0DD_B01D);
+    let truth = racy_locations_oracle(tree, &script);
+    let serial = BackendConfig::serial();
+
+    let (reference, _) = detect_races::<SpOrder>(tree, &script, serial);
+    if reference.racy_locations() != truth {
+        return Err(Discrepancy {
+            backend: "sp-order",
+            detail: format!(
+                "random script: racy locations {:?} != oracle {:?}",
+                reference.racy_locations(),
+                truth
+            ),
+        });
+    }
+
+    let serial_reports = [
+        ("sp-bags", detect_races::<SpBags>(tree, &script, serial).0),
+        (
+            "english-hebrew",
+            detect_races::<EnglishHebrewLabels>(tree, &script, serial).0,
+        ),
+        (
+            "offset-span",
+            detect_races::<OffsetSpanLabels>(tree, &script, serial).0,
+        ),
+        ("naive-locked", detect_races::<NaiveBackend>(tree, &script, serial).0),
+    ];
+    for (name, report) in &serial_reports {
+        if report.races() != reference.races() {
+            return Err(Discrepancy {
+                backend: name,
+                detail: format!(
+                    "random script: serial race report diverges from sp-order: {:?} vs {:?}",
+                    report.races(),
+                    reference.races()
+                ),
+            });
+        }
+    }
+    if shape.is_cilk_form() {
+        let (report, _) = detect_races::<HybridBackend>(tree, &script, serial);
+        if report.races() != reference.races() {
+            return Err(Discrepancy {
+                backend: "sp-hybrid",
+                detail: format!(
+                    "random script: serial race report diverges from sp-order: {:?} vs {:?}",
+                    report.races(),
+                    reference.races()
+                ),
+            });
+        }
+    }
+
+    if workers > 1 {
+        let cfg = BackendConfig::with_workers(workers);
+        let oracle = SpOracle::new(tree);
+        let mut parallel_runs = vec![(
+            "naive-locked",
+            detect_races::<NaiveBackend>(tree, &script, cfg).0,
+        )];
+        if shape.is_cilk_form() {
+            parallel_runs.push(("sp-hybrid", detect_races::<HybridBackend>(tree, &script, cfg).0));
+        }
+        for (name, report) in &parallel_runs {
+            for race in report.races() {
+                let genuine = race.earlier != race.later
+                    && oracle.parallel(race.earlier, race.later)
+                    && truth.contains(&race.loc);
+                if !genuine {
+                    return Err(Discrepancy {
+                        backend: name,
+                        detail: format!(
+                            "random script ({workers} workers): unsound race {race:?} \
+                             (oracle racy locations {truth:?})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(truth.len() as u64)
+}
+
 /// Run the full differential check for one `(shape, size, seed)` case.
 ///
 /// `workers == 1` checks every backend on a deterministic serial schedule;
 /// `workers > 1` additionally runs the parallel-capable backends (SP-hybrid,
 /// naive) on that many workers.
+///
+/// ```
+/// use spconform::{check_case, ShapeKind};
+///
+/// let stats = check_case(ShapeKind::DivideAndConquer, 8, 42, 2)
+///     .expect("every backend agrees with the oracle");
+/// assert!(stats.queries > 0 && stats.injected_races > 0);
+/// ```
 pub fn check_case(
     shape: ShapeKind,
     size: u32,
@@ -553,6 +687,7 @@ pub fn check_case(
         }
     }
     stats.injected_races += check_races(shape, &tree, seed, workers)?;
+    stats.emergent_races += check_random_scripts(shape, &tree, seed, workers)?;
     Ok(stats)
 }
 
@@ -623,6 +758,9 @@ pub struct SweepStats {
     pub pair_queries: u64,
     /// Injected races all backends were required to find exactly.
     pub injected_races: u64,
+    /// Emergent racy locations of random-mix scripts, matched exactly by
+    /// the serial backends against the brute-force oracle.
+    pub emergent_races: u64,
 }
 
 /// SplitMix64, used to derive independent per-case seeds.
@@ -644,6 +782,14 @@ pub fn case_seed(base_seed: u64, shape_idx: u64, case: u64) -> u64 {
 /// disagreement the failing case is shrunk (via the `proptest` shrinker) to
 /// the smallest `size` that still fails and returned as a replayable
 /// [`ConformanceFailure`].
+///
+/// ```
+/// use spconform::{run_sweep, SweepConfig};
+///
+/// let config = SweepConfig { cases_per_shape: 2, ..SweepConfig::default() };
+/// let stats = run_sweep(&config).expect("sweep is green");
+/// assert_eq!(stats.cases, 10); // 2 cases × 5 shapes
+/// ```
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepStats, Box<ConformanceFailure>> {
     let mut stats = SweepStats::default();
     for (shape_idx, shape) in ShapeKind::ALL.iter().copied().enumerate() {
@@ -662,6 +808,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepStats, Box<ConformanceFail
                     stats.queries += s.queries;
                     stats.pair_queries += s.pair_queries;
                     stats.injected_races += s.injected_races;
+                    stats.emergent_races += s.emergent_races;
                 }
                 Err(discrepancy) => {
                     return Err(Box::new(minimize_failure(
@@ -747,6 +894,24 @@ mod tests {
             });
             assert!(stats.queries > 0, "{shape:?} issued no queries");
             assert!(stats.pair_queries > 0, "{shape:?} checked no pairs");
+        }
+    }
+
+    #[test]
+    fn random_scripts_find_emergent_races_on_every_shape() {
+        // Across a handful of seeds per shape the random mixes must produce
+        // at least one emergent racy location (otherwise the check would be
+        // vacuous), and every case must pass serial-exactness + parallel
+        // soundness.
+        for shape in ShapeKind::ALL {
+            let mut emergent = 0;
+            for seed in 0..6u64 {
+                let tree = shape.build_tree(10, seed);
+                emergent += check_random_scripts(shape, &tree, seed, 2).unwrap_or_else(|d| {
+                    panic!("{}: {} — {}", shape.name(), d.backend, d.detail)
+                });
+            }
+            assert!(emergent > 0, "{shape:?}: random scripts never raced");
         }
     }
 

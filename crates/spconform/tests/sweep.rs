@@ -23,14 +23,16 @@ fn differential_sweep_all_shapes() {
                 "every generated case must be checked"
             );
             assert!(stats.queries > 0 && stats.pair_queries > 0);
+            assert!(stats.emergent_races > 0, "random-script check must not be vacuous");
             println!(
                 "conformance sweep green: {} cases, {} threads, {} current-queries, \
-                 {} pair-queries, {} injected races (seed {:#x})",
+                 {} pair-queries, {} injected + {} emergent races (seed {:#x})",
                 stats.cases,
                 stats.threads,
                 stats.queries,
                 stats.pair_queries,
                 stats.injected_races,
+                stats.emergent_races,
                 config.base_seed
             );
         }

@@ -101,6 +101,63 @@ fn fib_tree_stress_exercises_concurrent_steal_queries() {
     }
 }
 
+/// End-to-end multi-worker stress of the *detector* path: hot shared
+/// locations read by every thread (hammering the sharded shadow memory's
+/// lock-free fast path concurrently) plus injected write-write races (each
+/// forcing the striped-lock slow path and a report).  Every worker count
+/// must find exactly the injected racy locations — same set as the serial
+/// SP-order reference.
+#[test]
+fn contended_shadow_detection_matches_serial_across_worker_counts() {
+    use racedet::{detect_races, ParallelRaceDetector, SerialRaceDetector};
+    use spmaint::api::BackendConfig;
+    use spmaint::SpOrder;
+    use workloads::{inject_races, shared_read_private_write};
+
+    for seed in 0..3u64 {
+        let params = CilkGenParams {
+            max_depth: 5,
+            max_blocks: 2,
+            max_stmts: 4,
+            spawn_prob: 0.6,
+            work: 2,
+        };
+        // Wrap the random program under an initial serial segment so thread 0
+        // precedes every other thread — the precondition for the shared-read
+        // base script to be race-free.
+        let inner = random_cilk_program(params, seed);
+        let main = sptree::cilk::Procedure::single(
+            sptree::cilk::SyncBlock::new().work(1).spawn(inner).work(1),
+        );
+        let tree = CilkProgram::new(main).build_tree();
+        let base = shared_read_private_write(&tree, 8, 12);
+        let wanted = (tree.num_threads() / 4).clamp(1, 6);
+        let (script, expected) = inject_races(&tree, &base, wanted, seed ^ 0x57E55);
+
+        let (serial, _) = SerialRaceDetector::run::<SpOrder>(&tree, &script);
+        assert_eq!(serial.racy_locations(), expected, "seed {seed}: serial reference");
+
+        for workers in [2usize, 4, 8] {
+            let (report, _stats) = ParallelRaceDetector::run(&tree, &script, workers);
+            assert_eq!(
+                report.racy_locations(),
+                expected,
+                "seed {seed}, workers {workers}: hybrid detector under shadow contention"
+            );
+            let (report, _) = detect_races::<sphybrid::NaiveBackend>(
+                &tree,
+                &script,
+                BackendConfig::with_workers(workers),
+            );
+            assert_eq!(
+                report.racy_locations(),
+                expected,
+                "seed {seed}, workers {workers}: naive detector under shadow contention"
+            );
+        }
+    }
+}
+
 #[test]
 fn single_worker_baseline_never_splits() {
     let tree = CilkProgram::new(fib_like(7, 1)).build_tree();

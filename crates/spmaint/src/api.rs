@@ -173,6 +173,23 @@ impl BackendConfig {
 ///
 /// The lifetime `'t` is the lifetime of the parse tree; parallel backends
 /// borrow the tree, serial backends ignore the lifetime.
+///
+/// ```
+/// use spmaint::api::{BackendConfig, CurrentSpQuery, SpBackend};
+/// use spmaint::SpOrder;
+/// use sptree::{builder::Ast, tree::ThreadId};
+///
+/// // S(u0, P(u1, u2)): u0 runs before the parallel pair u1 ∥ u2.
+/// let tree = Ast::seq(vec![Ast::leaf(1), Ast::par(vec![Ast::leaf(1), Ast::leaf(1)])]).build();
+/// let mut backend: SpOrder = SpOrder::build(&tree, BackendConfig::serial());
+/// backend.run_with_queries(&tree, |q, current| {
+///     if current == ThreadId(2) {
+///         assert!(q.precedes_current(ThreadId(0))); // serial prefix
+///         assert!(q.parallel_with_current(ThreadId(1))); // sibling branch
+///     }
+/// });
+/// assert!(backend.backend_space_bytes() > 0);
+/// ```
 pub trait SpBackend<'t>: Sized {
     /// Build an instance for `tree` under `config`.
     fn build(tree: &'t ParseTree, config: BackendConfig) -> Self;

@@ -31,7 +31,9 @@
 //! the common interface shared with the parallel maintainers in `sphybrid`
 //! (SP-hybrid and the naive locked SP-order).  The generic race-detection
 //! engine in `racedet` and the differential conformance harness in
-//! `spconform` drive all six implementations through that one trait.
+//! `spconform` drive all six implementations through that one trait.  The
+//! repository-root `ARCHITECTURE.md#serial-sp-maintenance-figure-3` places
+//! this crate in the paper-to-crate map.
 
 pub mod api;
 pub mod english_hebrew;

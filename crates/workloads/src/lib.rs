@@ -13,4 +13,7 @@ pub mod programs;
 pub mod scripts;
 
 pub use programs::{Workload, WorkloadKind};
-pub use scripts::{disjoint_writes, inject_races, shared_read_private_write};
+pub use scripts::{
+    disjoint_writes, inject_races, racy_locations_oracle, random_mixed_script,
+    shared_read_private_write,
+};

@@ -92,6 +92,83 @@ pub fn inject_races(
     (script, racy_locs)
 }
 
+/// Fully random read/write mix: every thread performs `accesses_per_thread`
+/// accesses, each against either one of `shared_locations` *hot* shared
+/// locations or the thread's own private location, with kind and target
+/// drawn from `seed`.  Unlike [`inject_races`], races are *emergent* — no
+/// ground truth is planted, so callers cross-check against
+/// [`racy_locations_oracle`].  This is the script family that exercises the
+/// detector's reader-replacement rule differentially: hot locations collect
+/// long read chains interrupted by writes from all over the tree.
+pub fn random_mixed_script(
+    tree: &ParseTree,
+    shared_locations: u32,
+    accesses_per_thread: usize,
+    seed: u64,
+) -> AccessScript {
+    let n = tree.num_threads();
+    let shared = shared_locations.max(1);
+    let mut script = AccessScript::new(n, shared + n as u32);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAC_CE55);
+    for t in tree.thread_ids() {
+        for _ in 0..accesses_per_thread {
+            let loc = if rng.gen_bool(0.65) {
+                rng.gen_range(0..shared)
+            } else {
+                shared + t.0
+            };
+            let access = if rng.gen_bool(0.4) {
+                Access::write(loc)
+            } else {
+                Access::read(loc)
+            };
+            script.push(t, access);
+        }
+    }
+    script
+}
+
+/// Ground-truth racy locations of an arbitrary script, by brute force: a
+/// location races iff two distinct logically parallel threads access it and
+/// at least one of the two accesses is a write.  Quadratic in the number of
+/// accessing threads per location — fine for conformance-sized scripts, and
+/// deliberately *independent* of the shadow-memory algorithm so it can judge
+/// the detector's reader-replacement rule rather than mirror it.
+pub fn racy_locations_oracle(tree: &ParseTree, script: &AccessScript) -> Vec<u32> {
+    let oracle = SpOracle::new(tree);
+    // (readers, writers) thread sets per location, deduplicated.
+    let mut by_loc: Vec<(Vec<ThreadId>, Vec<ThreadId>)> =
+        vec![(Vec::new(), Vec::new()); script.num_locations() as usize];
+    for t in tree.thread_ids() {
+        for access in script.of(t) {
+            let (readers, writers) = &mut by_loc[access.loc as usize];
+            let set = match access.kind {
+                racedet::AccessKind::Read => readers,
+                racedet::AccessKind::Write => writers,
+            };
+            if !set.contains(&t) {
+                set.push(t);
+            }
+        }
+    }
+    let mut racy = Vec::new();
+    for (loc, (readers, writers)) in by_loc.iter().enumerate() {
+        let write_pair = writers
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| writers[i + 1..].iter().any(|&b| oracle.parallel(a, b)));
+        let read_write_pair = || {
+            writers
+                .iter()
+                .any(|&w| readers.iter().any(|&r| r != w && oracle.parallel(w, r)))
+        };
+        if write_pair || read_write_pair() {
+            racy.push(loc as u32);
+        }
+    }
+    racy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +200,49 @@ mod tests {
         assert_eq!(expected.len(), 10);
         let (report, _) = SerialRaceDetector::run::<spmaint::SpOrder>(&w.tree, &script);
         assert_eq!(report.racy_locations(), expected);
+    }
+
+    #[test]
+    fn random_mixed_script_is_deterministic_and_mixed() {
+        let w = Workload::build(WorkloadKind::RandomSp, 120, 1, 3);
+        let a = random_mixed_script(&w.tree, 4, 5, 11);
+        let b = random_mixed_script(&w.tree, 4, 5, 11);
+        assert_eq!(a.total_accesses(), w.tree.num_threads() * 5);
+        for t in w.tree.thread_ids() {
+            assert_eq!(a.of(t), b.of(t), "determinism");
+        }
+        let all = w.tree.thread_ids().flat_map(|t| a.of(t)).collect::<Vec<_>>();
+        assert!(all.iter().any(|x| x.kind == racedet::AccessKind::Read));
+        assert!(all.iter().any(|x| x.kind == racedet::AccessKind::Write));
+    }
+
+    #[test]
+    fn oracle_racy_locations_match_serial_detector_on_random_mixes() {
+        // The serial Feng–Leiserson detector is exact per location (the
+        // one-reader replacement rule never discards a still-racing reader
+        // in left-to-right order); the brute-force oracle must agree.
+        for seed in 0..12u64 {
+            let w = Workload::build(WorkloadKind::RandomSp, 80, 1, seed);
+            let script = random_mixed_script(&w.tree, 3, 4, seed);
+            let truth = racy_locations_oracle(&w.tree, &script);
+            let (report, _) = SerialRaceDetector::run::<spmaint::SpOrder>(&w.tree, &script);
+            assert_eq!(report.racy_locations(), truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oracle_flags_only_genuinely_parallel_conflicts() {
+        use sptree::builder::Ast;
+        // S(u0, P(u1, u2)): u0 precedes both, u1 ∥ u2.
+        let tree = Ast::seq(vec![Ast::leaf(1), Ast::par(vec![Ast::leaf(1), Ast::leaf(1)])]).build();
+        let mut script = AccessScript::new(3, 3);
+        script.push(ThreadId(0), Access::write(0)); // serial init: not a race
+        script.push(ThreadId(1), Access::read(0));
+        script.push(ThreadId(1), Access::write(1)); // u1 ∥ u2 write-write on 1
+        script.push(ThreadId(2), Access::write(1));
+        script.push(ThreadId(1), Access::read(2)); // read-read on 2: no race
+        script.push(ThreadId(2), Access::read(2));
+        assert_eq!(racy_locations_oracle(&tree, &script), vec![1]);
     }
 
     #[test]

@@ -221,13 +221,29 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Smoke mode (`SPBENCH_SMOKE=1` in the environment): run every benchmark
+/// routine for a single measured iteration instead of a timed loop.  CI uses
+/// this to execute bench targets end-to-end on every push — numbers are
+/// meaningless, rot is impossible.  Bench files can also consult this to
+/// scale their workload construction down.
+pub fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var_os("SPBENCH_SMOKE").is_some_and(|v| v != "0"))
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     group: &str,
     id: &BenchmarkId,
-    config: Config,
+    mut config: Config,
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    if smoke_mode() {
+        // Zero budgets: one warm-up call plus one measured batch of one.
+        config.warm_up_time = Duration::ZERO;
+        config.measurement_time = Duration::ZERO;
+        config.sample_size = 1;
+    }
     let mut b = Bencher {
         iters_done: 0,
         total: Duration::ZERO,

@@ -1,6 +1,56 @@
-//! Minimal offline stand-in for `crossbeam-utils`: just [`Backoff`].
+//! Minimal offline stand-in for `crossbeam-utils`: [`Backoff`] and
+//! [`CachePadded`].
 
 use std::cell::Cell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, mirroring
+/// `crossbeam_utils::CachePadded`.  Used to keep per-shard locks of the
+/// sharded shadow memory on distinct cache lines so that contended lock words
+/// do not false-share.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` to a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
 
 const SPIN_LIMIT: u32 = 6;
 const YIELD_LIMIT: u32 = 10;
@@ -58,6 +108,17 @@ impl Backoff {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let padded = CachePadded::new(7u32);
+        assert_eq!(*padded, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u32>>(), 64);
+        assert_eq!(padded.into_inner(), 7);
+        let mut p = CachePadded::from(1u64);
+        *p += 1;
+        assert_eq!(*p, 2);
+    }
 
     #[test]
     fn escalates_then_resets() {

@@ -3,15 +3,16 @@
 //! Supports the subset this workspace's tests use: the `proptest!` macro with
 //! an optional `#![proptest_config(...)]` header, range strategies over
 //! integers and floats, `collection::vec`, and `prop_assert_eq!`.  The
-//! `proptest!` macro itself runs each property for a fixed number of
-//! deterministic seeded cases and panics (with the case's inputs) on the
-//! first failure; the seed stream is stable so failures reproduce.
+//! `proptest!` macro runs each property for a fixed number of deterministic
+//! seeded cases; on the first failure it **shrinks** the argument tuple to a
+//! minimal still-failing input and panics with both the original and the
+//! shrunk case.  The seed stream is stable so failures reproduce.
 //!
-//! Unlike the original shim, basic *shrinking* is available as a standalone
-//! facility ([`Shrink`] + [`minimize`]): greedy descent over candidate
-//! simplifications of integers and vectors.  The `spconform` differential
-//! conformance harness uses it to minimize failing random programs to a
-//! replayable seed plus a shrunk tree instead of dumping the raw random case.
+//! Shrinking is also available as a standalone facility ([`Shrink`] +
+//! [`minimize`]): greedy descent over candidate simplifications of integers,
+//! floats, vectors, and tuples.  The `spconform` differential conformance
+//! harness uses it to minimize failing random programs to a replayable seed
+//! plus a shrunk tree instead of dumping the raw random case.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SampleRange, SeedableRng};
@@ -165,6 +166,56 @@ macro_rules! impl_shrink_signed {
 
 impl_shrink_signed!(i8, i16, i32, i64, isize);
 
+macro_rules! impl_shrink_float {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let x = *self;
+                let mut out = Vec::new();
+                if x.is_finite() && x.abs() > 1e-9 {
+                    out.push(0.0);
+                    out.push(x / 2.0);
+                    if x.trunc() != x {
+                        out.push(x.trunc());
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_float!(f32, f64);
+
+/// Tuples shrink coordinate-wise: every candidate simplifies exactly one
+/// coordinate, so [`minimize`]'s greedy restart explores each axis toward
+/// its own minimum.  This is what lets the `proptest!` macro shrink the whole
+/// argument list of a failing property at once.
+macro_rules! impl_shrink_tuple {
+    ($(($($T:ident . $idx:tt),+))+) => {$(
+        impl<$($T: Shrink + Clone),+> Shrink for ($($T,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_candidates() {
+                        let mut tuple = self.clone();
+                        tuple.$idx = candidate;
+                        out.push(tuple);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_shrink_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
 impl<T: Shrink + Clone> Shrink for Vec<T> {
     fn shrink_candidates(&self) -> Vec<Self> {
         let mut out = Vec::new();
@@ -222,6 +273,82 @@ where
     value
 }
 
+thread_local! {
+    /// Depth of [`silence_panics`] scopes on this thread; the shared hook
+    /// swallows panic output only while it is non-zero.
+    static SILENCED: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Run `f` with panic *output* silenced on this thread only.
+///
+/// The process-global panic hook is replaced exactly once, with a delegating
+/// hook that consults a thread-local depth counter — concurrent tests on
+/// other threads keep their panic dumps, and there is no take/set hook
+/// window for two shrinking properties to race on (swapping the hook per
+/// call could permanently install the silencer if two threads interleave).
+fn silence_panics<R>(f: impl FnOnce() -> R) -> R {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SILENCED.with(|depth| depth.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SILENCED.with(|depth| depth.set(depth.get() - 1));
+        }
+    }
+    SILENCED.with(|depth| depth.set(depth.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
+/// Best-effort human-readable text of a panic payload (`&str` and `String`
+/// payloads cover `assert!`/`panic!`; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Failure handler of one `proptest!` case: `fails(&inputs)` runs the body
+/// once and returns the failure's panic message (`None` when it passes).  On
+/// a failure the argument tuple is shrunk with [`minimize`] and the test
+/// panics with a `String` payload carrying the original inputs and message
+/// plus the minimal failing inputs and *their* message — the assertion text
+/// is preserved, not just the inputs.  The shrinking re-runs execute with
+/// panic output silenced so rejected candidates do not each dump a backtrace.
+pub fn shrink_and_report<T>(name: &str, case: u32, inputs: T, fails: impl Fn(&T) -> Option<String>)
+where
+    T: Shrink + Clone + std::fmt::Debug,
+{
+    let Some(first_message) = fails(&inputs) else {
+        return;
+    };
+    let mut last_message = first_message.clone();
+    let shrunk = silence_panics(|| {
+        minimize(inputs.clone(), |candidate| match fails(candidate) {
+            Some(message) => {
+                last_message = message;
+                true
+            }
+            None => false,
+        })
+    });
+    std::panic::panic_any(format!(
+        "proptest {name} case {case} failed with inputs {inputs:?} ({first_message}); \
+         shrunk to minimal failing inputs {shrunk:?} ({last_message})"
+    ));
+}
+
 /// Fresh deterministic RNG for case number `case` of a named property.
 pub fn case_rng(test_name: &str, case: u32) -> StdRng {
     let mut h = 0xcbf29ce484222325u64; // FNV-1a over the test name
@@ -233,6 +360,13 @@ pub fn case_rng(test_name: &str, case: u32) -> StdRng {
 
 /// Property-test macro: generates one `#[test]` per `fn`, running the body
 /// for `config.cases` deterministic random inputs.
+///
+/// On the first failing case the argument tuple is **shrunk** with
+/// [`minimize`] (integer/vec/float/tuple [`Shrink`] candidates) to a minimal
+/// still-failing input, and the test panics with both the original and the
+/// shrunk inputs.  The shrinking re-runs are executed with a silenced panic
+/// hook so the output stays one actionable message instead of a panic dump
+/// per rejected candidate.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -247,19 +381,15 @@ macro_rules! proptest {
             let config: $crate::ProptestConfig = $config;
             for case in 0..config.cases {
                 let mut proptest_rng = $crate::case_rng(stringify!($name), case);
-                $(
-                    let $arg = $crate::Strategy::generate(&$strategy, &mut proptest_rng);
-                )+
-                // Render inputs before the body runs — the body may consume them.
-                let inputs = format!("{:?}", ($(&$arg,)+));
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
-                if let Err(payload) = result {
-                    eprintln!(
-                        "proptest case {case} of {} failed with inputs {inputs}",
-                        stringify!($name)
-                    );
-                    std::panic::resume_unwind(payload);
-                }
+                let inputs = ( $( $crate::Strategy::generate(&$strategy, &mut proptest_rng), )+ );
+                // One body invocation per candidate input tuple; the body
+                // may consume its arguments, so each run gets clones.
+                $crate::shrink_and_report(stringify!($name), case, inputs, |candidate| {
+                    let ( $( $arg, )+ ) = ::std::clone::Clone::clone(candidate);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body))
+                        .err()
+                        .map(|payload| $crate::panic_message(payload.as_ref()))
+                });
             }
         }
     )+};
@@ -312,6 +442,58 @@ mod tests {
             crate::prop_assert!(!v.is_empty() && v.len() < 20);
             crate::prop_assert!(v.iter().all(|&x| x < 10));
         }
+    }
+
+    // A deliberately failing property (fails iff n >= 17), generated WITHOUT
+    // `#[test]` so the regression test below can invoke it and inspect how
+    // the macro shrinks the seeded failure.
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(8))]
+        fn failing_property_for_shrink_regression(
+            n in 0u32..1000,
+            v in crate::collection::vec(0u32..50, 0..6),
+        ) {
+            let _ = &v;
+            crate::prop_assert!(n < 17, "boundary breached");
+        }
+    }
+
+    #[test]
+    fn proptest_macro_shrinks_seeded_failure_to_minimal_case() {
+        // The expected report panic is silenced via the same thread-local
+        // mechanism the shrinker itself uses (no global hook swapping).
+        let result = crate::silence_panics(|| {
+            std::panic::catch_unwind(failing_property_for_shrink_regression)
+        });
+        let payload = result.expect_err("a seeded case with n >= 17 must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the macro reports failures as a String payload");
+        assert!(
+            msg.contains("shrunk to minimal failing inputs (17, [])"),
+            "the failure must shrink to the n=17 boundary with an empty vec: {msg}"
+        );
+        assert!(msg.contains("failing_property_for_shrink_regression"), "{msg}");
+        assert!(
+            msg.contains("boundary breached"),
+            "the property's own assertion message must survive into the report: {msg}"
+        );
+    }
+
+    #[test]
+    fn float_and_tuple_shrinking() {
+        use crate::Shrink;
+        // Floats shrink toward zero (and drop fractional parts).
+        assert!(0.0f64.shrink_candidates().is_empty());
+        let c = 6.5f64.shrink_candidates();
+        assert!(c.contains(&0.0) && c.contains(&3.25) && c.contains(&6.0));
+        // Tuples shrink one coordinate at a time, each toward its own
+        // boundary.
+        let min = crate::minimize((40u32, -9i32), |&(a, b)| a >= 3 && b <= -2);
+        assert_eq!(min, (3, -2));
+        // A predicate that never fails leaves the input untouched.
+        let unchanged = crate::minimize((40u32, 9i32), |_| false);
+        assert_eq!(unchanged, (40, 9));
     }
 
     #[test]
