@@ -32,10 +32,19 @@
 //! The runtime reports steal counts and per-worker statistics ([`RunStats`]),
 //! which the Theorem-10 benchmarks compare against the O(P·T∞) bound.
 
+//!
+//! Besides the tree walker, the crate has a **live-execution mode**
+//! ([`live`]): the same steal discipline applied to a computation whose SP
+//! structure *unfolds on demand* ([`live::LiveProgram`]) instead of being
+//! materialized up front — the substrate of the `spprog` programmatic
+//! fork-join API.
+
+pub mod live;
 pub mod metrics;
 pub mod scheduler;
 pub mod visitor;
 
+pub use live::{run_live, run_live_serial, LiveConfig, LiveNode, LiveProgram, LiveVisitor, SerialLiveVisitor, SpKind};
 pub use metrics::RunStats;
 pub use scheduler::{ParallelWalk, WalkConfig};
 pub use visitor::{ParallelVisitor, StealTokens, Token};

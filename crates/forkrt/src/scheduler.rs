@@ -38,6 +38,14 @@ impl WalkConfig {
             workers: workers.max(1),
         }
     }
+
+    /// The worker count the walk actually runs with: clamped to ≥ 1, the
+    /// same normalization `HybridConfig` applies, so a struct-literal
+    /// `WalkConfig { workers: 0 }` can never reach the scheduler (where zero
+    /// workers would mean zero spawned threads and a walk that never runs).
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
 }
 
 // Frame state bits (P-nodes only).
@@ -134,7 +142,7 @@ impl<'t, V: ParallelVisitor> ParallelWalk<'t, V> {
 
     /// Run the walk to completion, starting the root with `initial_token`.
     pub fn run(&self, initial_token: Token) -> RunStats {
-        let workers = self.config.workers.max(1);
+        let workers = self.config.effective_workers();
         let deques: Vec<Deque<NodeId>> = (0..workers).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<NodeId>> = deques.iter().map(|d| d.stealer()).collect();
         let shared = Shared {
@@ -540,6 +548,25 @@ mod tests {
         walk.run(77);
         let tokens = recorder.tokens.lock().unwrap();
         assert!(tokens.iter().all(|&(_, tok)| tok == 77));
+    }
+
+    #[test]
+    fn zero_workers_struct_literal_is_clamped_to_one() {
+        // Regression: `WalkConfig { workers: 0 }` built as a struct literal
+        // bypasses `with_workers`; the walk must normalize it exactly like
+        // `HybridConfig` does, so live and tree-driven runs cannot diverge on
+        // a degenerate config.
+        let config = WalkConfig { workers: 0 };
+        assert_eq!(config.effective_workers(), 1);
+        assert_eq!(WalkConfig::with_workers(0).workers, 1);
+        let tree = random_sp_ast(100, 0.5, 11).build();
+        let recorder = Recorder::new(tree.num_threads(), 0);
+        let walk = ParallelWalk::new(&tree, &recorder, config);
+        let stats = walk.run(5);
+        assert_eq!(stats.workers, 1, "zero workers must clamp to one");
+        assert_eq!(stats.steals, 0, "one worker can never steal");
+        assert_eq!(stats.total_threads() as usize, tree.num_threads());
+        assert_eq!(stats.final_token, 5, "token unchanged without steals");
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl Access {
 }
 
 /// The accesses of every thread of a program.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccessScript {
     /// `accesses[t]` = ordered accesses of thread `t`.
     accesses: Vec<Vec<Access>>,

@@ -18,10 +18,12 @@
 //!    same-location accesses keep their program order — all that the
 //!    Feng–Leiserson rules depend on);
 //! 2. within a shard group, each access first tries a **lock-free fast
-//!    path**: one atomic snapshot of the packed cell; if the recorded
-//!    writer/reader already precede the current thread and no cell update is
-//!    needed (the overwhelmingly common case on read-shared data), the
-//!    access completes without any lock;
+//!    path**: one atomic snapshot of the packed cell; if the snapshot shows
+//!    the cell is wholly owned by the current thread (the *owner hint* —
+//!    private-write runs, same thread re-writing its own location) or the
+//!    recorded writer/reader already precede the current thread and no cell
+//!    update is needed (the overwhelmingly common case on read-shared
+//!    data), the access completes without any lock or even any SP query;
 //! 3. the first access that must mutate (or report) acquires the shard's
 //!    striped lock **once**, and the rest of the group is processed under
 //!    that single acquisition;
@@ -141,22 +143,54 @@ fn apply_access(
     }
 }
 
-/// Can this access complete without the shard lock?  True only for reads
+/// Can this access complete without the shard lock?  True only for accesses
 /// that, per [`apply_access`] run against a consistent snapshot of the cell,
-/// would neither report a race nor mutate the cell — computed by actually
-/// running the rules on a scratch copy, so the fast-path predicate can never
-/// drift from the locked path.  Writes always mutate, so they never qualify
-/// (checked before the load).
-fn read_fast_path(
+/// would neither report a race nor mutate the cell.
+///
+/// Two tiers:
+///
+/// 1. **Owner hint** — the packed cell word itself doubles as an ownership
+///    hint: if the snapshot says the current thread is the recorded writer
+///    and there is no foreign recorded reader, the access is silent whatever
+///    the SP structure says, so it completes with zero queries and zero
+///    locks.  This is the *private-write run* pattern (the same thread
+///    re-writing or re-reading its own location), which the old read-only
+///    fast path always sent to the slow path because a write was assumed to
+///    mutate.  A write by the recorded writer re-records the same writer —
+///    no mutation; a read by it can only mutate when the recorded reader is
+///    absent (the reader slot would be filled).
+/// 2. **Silent-read check** — otherwise, reads run the update rules on a
+///    scratch copy (so the predicate can never drift from the locked path)
+///    and qualify when nothing would be reported or written.  Writes by any
+///    *other* thread than the recorded writer always mutate the writer slot,
+///    so they never qualify.
+///
+/// Both tiers are sound for the same reason: a packed cell is one atomic
+/// word, the snapshot is a linearization point, and the locked path given
+/// the same snapshot would have reported nothing and written nothing.
+fn silent_fast_path(
     queries: &dyn CurrentSpQuery,
     shadow: &ShardedShadowMemory,
     current: ThreadId,
     access: Access,
 ) -> bool {
+    let before = shadow.load(access.loc);
+    // Owner hint: writer is the current thread, reader absent (writes only —
+    // a read would fill it) or the current thread itself.
+    if before.writer == Some(current) {
+        let reader_silent = match before.reader {
+            Some(r) => r == current,
+            None => access.kind == AccessKind::Write,
+        };
+        if reader_silent {
+            return true;
+        }
+    }
     if access.kind != AccessKind::Read {
+        // A write by a thread that is not the recorded writer always mutates
+        // the writer slot.
         return false;
     }
-    let before = shadow.load(access.loc);
     let mut scratch = before;
     let mut raced = false;
     apply_access(queries, current, access.loc, access.kind, &mut scratch, &mut |_| {
@@ -199,7 +233,7 @@ pub fn check_thread_accesses(
         for &idx in &order[start..end] {
             let access = accesses[idx as usize];
             if guard.is_none() {
-                if read_fast_path(queries, shadow, current, access) {
+                if silent_fast_path(queries, shadow, current, access) {
                     continue;
                 }
                 // First access of the group that needs exclusivity: one lock
@@ -377,13 +411,60 @@ mod tests {
         check_thread_accesses(&q0, &shadow, &report, ThreadId(0), &[Access::write(0), Access::read(0)]);
         assert_eq!(shadow.load(0).reader, Some(ThreadId(0)));
         let q1 = Oracle(sptree::oracle::SpOracle::new(&tree), ThreadId(1));
-        assert!(!read_fast_path(&q1, &shadow, ThreadId(1), Access::read(0)), "reader must be replaced");
+        assert!(!silent_fast_path(&q1, &shadow, ThreadId(1), Access::read(0)), "reader must be replaced");
         check_thread_accesses(&q1, &shadow, &report, ThreadId(1), &[Access::read(0)]);
         assert_eq!(shadow.load(0).reader, Some(ThreadId(1)));
         let q2 = Oracle(sptree::oracle::SpOracle::new(&tree), ThreadId(2));
-        assert!(read_fast_path(&q2, &shadow, ThreadId(2), Access::read(0)), "parallel reader stays");
+        assert!(silent_fast_path(&q2, &shadow, ThreadId(2), Access::read(0)), "parallel reader stays");
         check_thread_accesses(&q2, &shadow, &report, ThreadId(2), &[Access::read(0)]);
         assert_eq!(shadow.load(0).reader, Some(ThreadId(1)), "fast path left the cell untouched");
         assert!(report.lock().is_empty(), "read-shared data after a preceding write is race-free");
+    }
+
+    /// The owner-hint tier: a thread re-writing (and re-reading) its own
+    /// location takes the lock-free path for every access after the first
+    /// two, without issuing a single SP query.
+    #[test]
+    fn owner_hint_covers_private_write_runs() {
+        let shadow = ShardedShadowMemory::new(2, 2);
+        let report = Mutex::new(RaceReport::new());
+
+        /// Queries that panic if consulted: the owner hint must answer alone.
+        struct NoQueries;
+        impl CurrentSpQuery for NoQueries {
+            fn precedes_current(&self, _earlier: ThreadId) -> bool {
+                panic!("the owner-hint fast path must not issue SP queries");
+            }
+        }
+
+        let t = ThreadId(0);
+        // First write records the owner (slow path: mutates the cell)...
+        assert!(!silent_fast_path(&NoQueries, &shadow, t, Access::write(0)));
+        check_thread_accesses(&NoQueries, &shadow, &report, t, &[Access::write(0)]);
+        assert_eq!(shadow.load(0).writer, Some(t));
+        // ...every re-write afterwards is owner-silent (queries would panic).
+        assert!(silent_fast_path(&NoQueries, &shadow, t, Access::write(0)));
+        check_thread_accesses(&NoQueries, &shadow, &report, t, &[Access::write(0); 8]);
+        // A re-read first fills the reader slot (a mutation, so it takes the
+        // slow path — but still queryless, since the only recorded thread is
+        // the current one and every rule short-circuits on it)...
+        assert!(!silent_fast_path(&NoQueries, &shadow, t, Access::read(0)));
+        check_thread_accesses(&NoQueries, &shadow, &report, t, &[Access::read(0)]);
+        assert_eq!(shadow.load(0).reader, Some(t));
+        // ...and once writer and reader are both the owner, reads and writes
+        // alike are owner-silent.
+        assert!(silent_fast_path(&NoQueries, &shadow, t, Access::read(0)));
+        assert!(silent_fast_path(&NoQueries, &shadow, t, Access::write(0)));
+        check_thread_accesses(
+            &NoQueries,
+            &shadow,
+            &report,
+            t,
+            &[Access::read(0), Access::write(0), Access::read(0), Access::write(0)],
+        );
+        assert_eq!(shadow.load(0), ShadowCell { writer: Some(t), reader: Some(t) });
+        assert!(report.lock().is_empty());
+        // A *different* thread's write must not be owner-silent.
+        assert!(!silent_fast_path(&NoQueries, &shadow, ThreadId(1), Access::write(1)));
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod access;
 pub mod engine;
+pub mod live;
 pub mod parallel;
 pub mod report;
 pub mod serial;
@@ -45,6 +46,7 @@ pub mod shadow;
 
 pub use access::{Access, AccessKind, AccessScript};
 pub use engine::{check_access_per_cell, check_thread_accesses, detect_races};
+pub use live::LiveDetector;
 pub use parallel::ParallelRaceDetector;
 pub use report::{Race, RaceKind, RaceReport};
 pub use serial::SerialRaceDetector;

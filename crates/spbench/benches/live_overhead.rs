@@ -1,0 +1,114 @@
+//! Live instrumentation overhead: what does on-the-fly SP maintenance plus
+//! online race detection cost, relative to just running the program?
+//!
+//! Three rows per workload × worker count:
+//!
+//! * `uninstrumented` — the live program on the scheduler with no SP
+//!   maintenance and no detection (values only): the Cilk-program baseline;
+//! * `live` — the full live pipeline (`spprog::run_program`): streaming
+//!   SP-order serially, the live two-tier SP-hybrid on multiple workers,
+//!   online sharded-shadow detection;
+//! * `offline` — record once, then tree-driven detection with the classic
+//!   engine (`racedet::detect_races` over SP-order / SP-hybrid) — the
+//!   pre-existing offline path on the *same* program (recording time
+//!   excluded; this is the steady-state offline cost).
+//!
+//! Corollary 6 says serial instrumentation is a constant factor; Theorem 10
+//! bounds the parallel overhead.  The trailing summary prints the measured
+//! ratios.  `SPBENCH_SMOKE=1` shrinks everything to a CI smoke pass.
+
+use criterion::{criterion_group, criterion_main, smoke_mode, Criterion, Throughput};
+use racedet::detect_races;
+use spmaint::api::BackendConfig;
+use spmaint::SpOrder;
+use sphybrid::HybridBackend;
+use spprog::{record_program, run_program, run_uninstrumented, RunConfig};
+use workloads::{live_fib, live_matmul, LiveWorkload};
+
+fn workloads() -> Vec<LiveWorkload> {
+    let (fib_depth, matmul_n) = if smoke_mode() { (6, 3) } else { (14, 12) };
+    vec![live_fib(fib_depth, false), live_matmul(matmul_n, false)]
+}
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn live_overhead(c: &mut Criterion) {
+    for w in workloads() {
+        let recorded = record_program(&w.prog, w.locations);
+        let accesses = recorded.script.total_accesses() as u64;
+        let mut group = c.benchmark_group(format!("live-overhead/{}", w.name));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(accesses.max(1)));
+        for workers in WORKERS {
+            group.bench_function(format!("uninstrumented/w{workers}"), |b| {
+                b.iter(|| run_uninstrumented(&w.prog, workers, w.locations))
+            });
+            group.bench_function(format!("live/w{workers}"), |b| {
+                b.iter(|| run_program(&w.prog, &RunConfig::with_workers(workers, w.locations)))
+            });
+            group.bench_function(format!("offline/w{workers}"), |b| {
+                b.iter(|| {
+                    let cfg = BackendConfig::with_workers(workers);
+                    if workers == 1 {
+                        detect_races::<SpOrder>(&recorded.tree, &recorded.script, cfg).0
+                    } else {
+                        detect_races::<HybridBackend>(&recorded.tree, &recorded.script, cfg).0
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // Trailing ratio summary (best-of-N wall clock, like BENCH_shadow.json).
+    let reps = if smoke_mode() { 1 } else { 3 };
+    println!("\n=== live_overhead summary (ns/access, best of {reps}) ===");
+    for w in workloads() {
+        let recorded = record_program(&w.prog, w.locations);
+        let accesses = recorded.script.total_accesses().max(1) as f64;
+        for workers in WORKERS {
+            let mut best = [f64::INFINITY; 3];
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                std::hint::black_box(run_uninstrumented(&w.prog, workers, w.locations));
+                best[0] = best[0].min(t.elapsed().as_nanos() as f64 / accesses);
+                let t = std::time::Instant::now();
+                std::hint::black_box(run_program(
+                    &w.prog,
+                    &RunConfig::with_workers(workers, w.locations),
+                ));
+                best[1] = best[1].min(t.elapsed().as_nanos() as f64 / accesses);
+                let t = std::time::Instant::now();
+                let cfg = BackendConfig::with_workers(workers);
+                if workers == 1 {
+                    std::hint::black_box(
+                        detect_races::<SpOrder>(&recorded.tree, &recorded.script, cfg).0,
+                    );
+                } else {
+                    std::hint::black_box(
+                        detect_races::<HybridBackend>(&recorded.tree, &recorded.script, cfg).0,
+                    );
+                }
+                best[2] = best[2].min(t.elapsed().as_nanos() as f64 / accesses);
+            }
+            println!(
+                "{} w{workers}: uninstrumented {:.1}, live {:.1} ({:.2}x), offline {:.1}",
+                w.name,
+                best[0],
+                best[1],
+                best[1] / best[0].max(1e-9),
+                best[2]
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = live_overhead
+}
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! ([`racedet::PerCellShadowMemory`] + [`racedet::check_access_per_cell`])
 //! on the adversarial workload: **few hot locations, many workers**.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! * `hot-read` — thread 0 initializes 4 shared locations, every other
 //!   thread re-reads them many times (plus a private write): race-free, all
@@ -19,7 +19,11 @@
 //! * `private-scan` — every thread sweeps a run of consecutive private
 //!   locations: no contention at all, isolating pure per-access lock
 //!   overhead and the batching amortization (consecutive cells share a
-//!   shard).
+//!   shard);
+//! * `private-rewrite` — every thread re-writes (and re-reads) its *own*
+//!   location over and over: the private-write-run pattern the owner-hint
+//!   tier of the fast path serves with zero locks and zero SP queries
+//!   (before the hint, every one of those writes took the shard lock).
 //!
 //! The trailing report prints a JSON document with ns/access for every
 //! (scenario × engine × backend) cell; the committed `BENCH_shadow.json` at
@@ -46,6 +50,24 @@ fn parallel_loop_tree(children: usize) -> ParseTree {
         block = block.spawn(Procedure::single(SyncBlock::new().work(1)));
     }
     CilkProgram::new(Procedure::single(block.work(1))).build_tree()
+}
+
+/// Every thread alternately re-writes and re-reads its own single location
+/// `reps` times — the private-write run the owner hint turns lock-free.
+fn private_rewrite_script(tree: &ParseTree, reps: u32) -> AccessScript {
+    let n = tree.num_threads();
+    let mut script = AccessScript::new(n, n as u32);
+    for t in tree.thread_ids() {
+        for i in 0..reps {
+            let access = if i % 2 == 0 {
+                Access::write(t.0)
+            } else {
+                Access::read(t.0)
+            };
+            script.push(t, access);
+        }
+    }
+    script
 }
 
 /// Every thread writes then re-reads a run of `span` consecutive private
@@ -96,9 +118,12 @@ fn scenarios() -> Vec<Scenario> {
     let hot_script = shared_read_private_write(&hot_tree, 4, hot_accesses);
     let scan_tree = parallel_loop_tree(children);
     let scan_script = private_scan_script(&scan_tree, span);
+    let rewrite_tree = parallel_loop_tree(children);
+    let rewrite_script = private_rewrite_script(&rewrite_tree, 2 * span);
     vec![
         Scenario { name: "hot-read", tree: hot_tree, script: hot_script },
         Scenario { name: "private-scan", tree: scan_tree, script: scan_script },
+        Scenario { name: "private-rewrite", tree: rewrite_tree, script: rewrite_script },
     ]
 }
 

@@ -60,6 +60,10 @@ use sptree::tree::{NodeKind, ParseTree, ThreadId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use workloads::{disjoint_writes, inject_races, racy_locations_oracle, random_mixed_script};
 
+pub mod live;
+
+pub use live::{check_live_case, minimize_live_failure, run_live_sweep, LiveFailure, LiveSweepStats};
+
 // ---------------------------------------------------------------------------
 // Program shapes
 // ---------------------------------------------------------------------------
@@ -108,15 +112,17 @@ impl ShapeKind {
         !matches!(self, ShapeKind::RandomSp)
     }
 
-    /// Build the deterministic tree for `(self, size, seed)`.  `size` scales
-    /// the program monotonically (it is the shrink knob of the minimizer);
-    /// `seed` varies the random choices.
-    pub fn build_tree(self, size: u32, seed: u64) -> ParseTree {
+    /// Build the deterministic Cilk *procedure* for `(self, size, seed)` —
+    /// `None` for [`ShapeKind::RandomSp`], which is not in canonical Cilk
+    /// form.  The live conformance harness runs these same procedures
+    /// through the `spprog` API, so the two sweeps cover identical program
+    /// families.
+    pub fn build_procedure(self, size: u32, seed: u64) -> Option<Procedure> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5BC0_4F02);
         match self {
             ShapeKind::DivideAndConquer => {
                 let depth = 2 + size / 6; // 4..=28 → depth 2..=6
-                CilkProgram::new(dandc_proc(depth.min(6), &mut rng)).build_tree()
+                Some(dandc_proc(depth.min(6), &mut rng))
             }
             ShapeKind::ParallelLoop => {
                 let iterations = 1 + size as usize + rng.gen_range(0..3usize);
@@ -126,7 +132,7 @@ impl ShapeKind {
                         SyncBlock::new().work(1 + rng.gen_range(0..3u64)),
                     ));
                 }
-                CilkProgram::new(Procedure::single(block.work(1))).build_tree()
+                Some(Procedure::single(block.work(1)))
             }
             ShapeKind::DeepNesting => {
                 let depth = 1 + size;
@@ -134,7 +140,7 @@ impl ShapeKind {
                 for _ in 0..depth {
                     proc = Procedure::single(SyncBlock::new().work(1).spawn(proc));
                 }
-                CilkProgram::new(proc).build_tree()
+                Some(proc)
             }
             ShapeKind::RandomCilk => {
                 let params = CilkGenParams {
@@ -144,9 +150,19 @@ impl ShapeKind {
                     spawn_prob: 0.45 + (seed % 20) as f64 / 100.0,
                     work: 2,
                 };
-                CilkProgram::new(random_cilk_program(params, seed)).build_tree()
+                Some(random_cilk_program(params, seed))
             }
-            ShapeKind::RandomSp => random_sp_ast(2 + 2 * size as usize, 0.5, seed).build(),
+            ShapeKind::RandomSp => None,
+        }
+    }
+
+    /// Build the deterministic tree for `(self, size, seed)`.  `size` scales
+    /// the program monotonically (it is the shrink knob of the minimizer);
+    /// `seed` varies the random choices.
+    pub fn build_tree(self, size: u32, seed: u64) -> ParseTree {
+        match self.build_procedure(size, seed) {
+            Some(proc) => CilkProgram::new(proc).build_tree(),
+            None => random_sp_ast(2 + 2 * size as usize, 0.5, seed).build(),
         }
     }
 }

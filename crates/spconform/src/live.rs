@@ -1,0 +1,415 @@
+//! Live-vs-offline differential conformance: every random Cilk program runs
+//! **both ways** — live through the `spprog` spawn/sync API (tree unfolding
+//! on the fly, online detection) and offline through the materialized parse
+//! tree (the classic engines) — and the reports must line up:
+//!
+//! * the recorded artifacts of a serial live run must reproduce the
+//!   canonical tree lowering *exactly* (same structure, same thread
+//!   numbering, same access script);
+//! * serial live reports must be **bit-identical** to offline serial
+//!   detection (same races, same order, same thread ids);
+//! * multi-worker live runs — under both live maintainers, the two-tier
+//!   SP-hybrid and the naive-locked strawman — must be *location-sound*
+//!   (every reported racy location is truly racy per the brute-force
+//!   parallel-conflict oracle) and *complete on planted races* (each
+//!   planted parallel write-write pair sits alone on its own location, so
+//!   any correct detector must flag it under every schedule).  On
+//!   planted-only scripts this tightens to exact racy-location equality
+//!   with the tree-driven engine.
+//!
+//! Cases shrink to a replayable `(shape, size, seed)` like the main sweep.
+//! [`run_live_sweep`] honors the same `SPCONFORM_SEED` / `SPCONFORM_CASES`
+//! environment variables.
+
+use racedet::{detect_races, Access, AccessScript};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmaint::api::BackendConfig;
+use spmaint::SpOrder;
+use spprog::{record_program, run_program, LiveMaintainer, RunConfig};
+use sptree::cilk::CilkProgram;
+use sptree::oracle::SpOracle;
+use sptree::tree::ThreadId;
+use workloads::{live_from_cilk, racy_locations_oracle};
+
+use crate::{case_seed, tree_sexpr, Discrepancy, ShapeKind, SweepConfig};
+
+/// What one live differential case covered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveCaseStats {
+    /// Threads of the program (0 if the shape has no Cilk form and the case
+    /// was skipped).
+    pub threads: u64,
+    /// Accesses in the generated script.
+    pub accesses: u64,
+    /// Planted parallel write-write races (found by every run).
+    pub planted: u64,
+    /// Emergent racy locations of the random mix (serial-exact, checked for
+    /// soundness in multi-worker runs).
+    pub emergent: u64,
+    /// Multi-worker live runs performed (2 maintainers when `workers > 1`).
+    pub parallel_runs: u64,
+}
+
+/// A live-conformance failure minimized to a replayable case.
+#[derive(Clone, Debug)]
+pub struct LiveFailure {
+    /// Shape of the failing program.
+    pub shape: ShapeKind,
+    /// Minimized size knob.
+    pub size: u32,
+    /// Seed reproducing the failure.
+    pub seed: u64,
+    /// Worker count of the failing configuration.
+    pub workers: usize,
+    /// The disagreement at the minimized case.
+    pub discrepancy: Discrepancy,
+    /// The offline tree of the shrunk case, as an S-expression.
+    pub tree: String,
+}
+
+impl std::fmt::Display for LiveFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "live conformance failure in `{}` (shape={}, size={}, seed={:#x}, workers={})",
+            self.discrepancy.backend,
+            self.shape.name(),
+            self.size,
+            self.seed,
+            self.workers
+        )?;
+        writeln!(f, "  {}", self.discrepancy.detail)?;
+        writeln!(f, "  offline tree: {}", self.tree)?;
+        write!(
+            f,
+            "  replay: spconform::live::check_live_case(ShapeKind::{:?}, {}, {:#x}, {})",
+            self.shape, self.size, self.seed, self.workers
+        )
+    }
+}
+
+fn err(backend: &'static str, detail: String) -> Discrepancy {
+    Discrepancy { backend, detail }
+}
+
+/// Run the full live-vs-offline differential check for one
+/// `(shape, size, seed)` case.  `workers >= 2` also runs the program live on
+/// that many workers under both live maintainers; shapes without a Cilk
+/// form ([`ShapeKind::RandomSp`]) are skipped (the live API *is* canonical
+/// Cilk form).
+///
+/// Odd seeds generate a random read/write mix on top of the planted races
+/// (multi-worker runs held to soundness + planted completeness); even seeds
+/// are planted-only (multi-worker racy-location sets must match the
+/// tree-driven engine exactly).
+pub fn check_live_case(
+    shape: ShapeKind,
+    size: u32,
+    seed: u64,
+    workers: usize,
+) -> Result<LiveCaseStats, Discrepancy> {
+    let Some(procedure) = shape.build_procedure(size, seed) else {
+        return Ok(LiveCaseStats::default());
+    };
+    let tree = CilkProgram::new(procedure.clone()).build_tree();
+    let oracle = SpOracle::new(&tree);
+    let n = tree.num_threads();
+    let steps: Vec<ThreadId> = tree.thread_ids().filter(|&t| tree.work_of(t) > 0).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11FE_C0DE);
+    let mixed = seed % 2 == 1;
+
+    // Script over step threads only: optional random shared/private mix,
+    // plus planted parallel write-write pairs on dedicated fresh locations.
+    const SHARED: u32 = 6;
+    let mut script = AccessScript::new(n, SHARED);
+    if mixed {
+        for &t in &steps {
+            for _ in 0..rng.gen_range(0..3usize) {
+                let loc = if rng.gen_bool(0.7) {
+                    rng.gen_range(0..SHARED)
+                } else {
+                    SHARED + t.0
+                };
+                let access = if rng.gen_bool(0.4) {
+                    Access::write(loc)
+                } else {
+                    Access::read(loc)
+                };
+                script.push(t, access);
+            }
+        }
+    }
+    let mut planted = Vec::new();
+    if steps.len() >= 2 {
+        let wanted = (steps.len() / 4).clamp(1, 4);
+        let mut next_loc = SHARED + n as u32;
+        let mut attempts = 0;
+        while planted.len() < wanted && attempts < 4_000 {
+            attempts += 1;
+            let a = steps[rng.gen_range(0..steps.len())];
+            let b = steps[rng.gen_range(0..steps.len())];
+            if a == b || !oracle.parallel(a, b) {
+                continue;
+            }
+            script.push(a, Access::write(next_loc));
+            script.push(b, Access::write(next_loc));
+            planted.push(next_loc);
+            next_loc += 1;
+        }
+    }
+    planted.sort_unstable();
+
+    // Ground truth and the offline serial reference.
+    let truth = racy_locations_oracle(&tree, &script);
+    if !planted.iter().all(|loc| truth.contains(loc)) {
+        return Err(err(
+            "live-harness",
+            format!("planted locations {planted:?} not all in oracle truth {truth:?}"),
+        ));
+    }
+    let serial_cfg = BackendConfig::serial();
+    let (reference, _) = detect_races::<SpOrder>(&tree, &script, serial_cfg);
+    if reference.racy_locations() != truth {
+        return Err(err(
+            "sp-order",
+            format!(
+                "offline serial racy locations {:?} != oracle {:?}",
+                reference.racy_locations(),
+                truth
+            ),
+        ));
+    }
+
+    // The live program, and its recorded artifacts, must reproduce the
+    // canonical lowering exactly.
+    let live = live_from_cilk(&procedure, &script);
+    let locations = script.num_locations();
+    let rec = record_program(&live, locations);
+    if tree_sexpr(&rec.tree) != tree_sexpr(&tree) {
+        return Err(err(
+            "spprog-record",
+            format!(
+                "recorded tree diverges from the Cilk lowering: {} vs {}",
+                tree_sexpr(&rec.tree),
+                tree_sexpr(&tree)
+            ),
+        ));
+    }
+    if rec.script != script {
+        return Err(err(
+            "spprog-record",
+            "recorded access script diverges from the generated script".to_string(),
+        ));
+    }
+
+    // Serial live run: bit-identical to offline serial detection.
+    let serial_run = run_program(&live, &RunConfig::serial(locations));
+    if serial_run.report.races() != reference.races() {
+        return Err(err(
+            "spprog-serial",
+            format!(
+                "serial live report diverges from offline sp-order: {:?} vs {:?}",
+                serial_run.report.races(),
+                reference.races()
+            ),
+        ));
+    }
+
+    // Multi-worker live runs, both maintainers.
+    let mut parallel_runs = 0u64;
+    if workers > 1 {
+        for (name, maintainer) in [
+            ("live-sp-hybrid", LiveMaintainer::Hybrid),
+            ("live-naive-locked", LiveMaintainer::NaiveLocked),
+        ] {
+            let config = RunConfig {
+                workers,
+                locations,
+                maintainer,
+                ..RunConfig::default()
+            };
+            let run = run_program(&live, &config);
+            parallel_runs += 1;
+            let locs = run.report.racy_locations();
+            if let Some(bogus) = locs.iter().find(|l| !truth.contains(l)) {
+                return Err(err(
+                    name,
+                    format!(
+                        "unsound: location {bogus} reported racy ({workers} workers) \
+                         but oracle truth is {truth:?}"
+                    ),
+                ));
+            }
+            if let Some(missed) = planted.iter().find(|l| !locs.contains(l)) {
+                return Err(err(
+                    name,
+                    format!(
+                        "planted race on location {missed} missed ({workers} workers); \
+                         reported {locs:?}"
+                    ),
+                ));
+            }
+            if !mixed && locs != truth {
+                return Err(err(
+                    name,
+                    format!(
+                        "planted-only script: racy locations {locs:?} != tree-driven \
+                         {truth:?} ({workers} workers)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    Ok(LiveCaseStats {
+        threads: n as u64,
+        accesses: script.total_accesses() as u64,
+        planted: planted.len() as u64,
+        emergent: (truth.len() - planted.len()) as u64,
+        parallel_runs,
+    })
+}
+
+/// Aggregate statistics of a green live sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveSweepStats {
+    /// Cases run (programs executed both ways).
+    pub cases: u64,
+    /// Total threads across all programs.
+    pub threads: u64,
+    /// Total accesses across all scripts.
+    pub accesses: u64,
+    /// Planted races, all found by every run.
+    pub planted: u64,
+    /// Emergent racy locations of the mixed scripts.
+    pub emergent: u64,
+    /// Multi-worker live runs performed.
+    pub parallel_runs: u64,
+}
+
+/// Run `cases_per_shape` live differential cases for every Cilk-form shape,
+/// shrinking the first failure to a replayable [`LiveFailure`].  Seeds come
+/// from the same [`case_seed`] stream as the main sweep (offset so the two
+/// sweeps cover different programs); every case runs multi-worker — 2
+/// workers by default, `parallel_workers` on every `parallel_every`-th case.
+pub fn run_live_sweep(config: &SweepConfig) -> Result<LiveSweepStats, Box<LiveFailure>> {
+    let mut stats = LiveSweepStats::default();
+    for (shape_idx, shape) in ShapeKind::ALL.iter().copied().enumerate() {
+        if shape.build_procedure(1, 1).is_none() {
+            continue;
+        }
+        for case in 0..config.cases_per_shape {
+            // Offset the shape index so live cases draw different programs
+            // than the main sweep under the same base seed.
+            let seed = case_seed(config.base_seed, shape_idx as u64 + 17, case as u64);
+            let size = 4 + (seed % 25) as u32;
+            let workers = if config.parallel_every > 0 && case % config.parallel_every == 0 {
+                config.parallel_workers.max(2)
+            } else {
+                2
+            };
+            match check_live_case(shape, size, seed, workers) {
+                Ok(s) => {
+                    stats.cases += 1;
+                    stats.threads += s.threads;
+                    stats.accesses += s.accesses;
+                    stats.planted += s.planted;
+                    stats.emergent += s.emergent;
+                    stats.parallel_runs += s.parallel_runs;
+                }
+                Err(discrepancy) => {
+                    return Err(Box::new(minimize_live_failure(
+                        shape,
+                        size,
+                        seed,
+                        workers,
+                        discrepancy,
+                    )));
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Shrink a failing live case to the smallest `size` that still fails (the
+/// same protocol as the main sweep's minimizer: only sizes that re-fail are
+/// descended into, and the reported discrepancy is the one observed at the
+/// returned size).
+pub fn minimize_live_failure(
+    shape: ShapeKind,
+    size: u32,
+    seed: u64,
+    workers: usize,
+    original: Discrepancy,
+) -> LiveFailure {
+    let mut last = original;
+    let min_size = proptest::minimize(size, |&s| match check_live_case(shape, s, seed, workers) {
+        Err(d) => {
+            last = d;
+            true
+        }
+        Ok(_) => false,
+    });
+    LiveFailure {
+        shape,
+        size: min_size,
+        seed,
+        workers,
+        discrepancy: last,
+        tree: tree_sexpr(&shape.build_tree(min_size, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_cases_pass_on_every_cilk_shape_both_script_modes() {
+        for shape in ShapeKind::ALL {
+            if shape.build_procedure(1, 1).is_none() {
+                continue;
+            }
+            // Even seed: planted-only (exact racy-location equality);
+            // odd seed: mixed (soundness + planted completeness).
+            for seed in [42u64, 43] {
+                let stats = check_live_case(shape, 8, seed, 2).unwrap_or_else(|d| {
+                    panic!("{} seed {seed}: {} — {}", shape.name(), d.backend, d.detail)
+                });
+                assert!(stats.threads > 0);
+                assert_eq!(stats.parallel_runs, 2, "both live maintainers ran");
+            }
+        }
+    }
+
+    #[test]
+    fn random_sp_shapes_are_skipped_not_failed() {
+        let stats = check_live_case(ShapeKind::RandomSp, 8, 1, 2).unwrap();
+        assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    fn planted_races_are_not_vacuous_across_seeds() {
+        let mut planted = 0;
+        for seed in 0..8u64 {
+            planted += check_live_case(ShapeKind::DivideAndConquer, 10, seed, 2)
+                .expect("case is green")
+                .planted;
+        }
+        assert!(planted > 0, "the plant machinery must actually plant races");
+    }
+
+    #[test]
+    fn small_live_sweep_is_green() {
+        let config = SweepConfig {
+            cases_per_shape: 3,
+            ..SweepConfig::default()
+        };
+        let stats = run_live_sweep(&config).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(stats.cases, 12, "4 Cilk shapes × 3 cases");
+        assert!(stats.planted > 0);
+        assert!(stats.parallel_runs >= stats.cases, "every case ran multi-worker");
+    }
+}

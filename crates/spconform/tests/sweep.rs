@@ -10,7 +10,7 @@
 //! SPCONFORM_SEED=0x1234 SPCONFORM_CASES=500 cargo test -p spconform --release
 //! ```
 
-use spconform::{run_sweep, ShapeKind, SweepConfig};
+use spconform::{run_live_sweep, run_sweep, ShapeKind, SweepConfig};
 
 #[test]
 fn differential_sweep_all_shapes() {
@@ -33,6 +33,45 @@ fn differential_sweep_all_shapes() {
                 stats.pair_queries,
                 stats.injected_races,
                 stats.emergent_races,
+                config.base_seed
+            );
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// The live differential sweep: every Cilk-form case executed both ways —
+/// live via the `spprog` spawn/sync API (serial and multi-worker, both live
+/// maintainers) and offline via the recorded parse tree — with serial
+/// reports required to be bit-identical and multi-worker reports held to
+/// location soundness + planted completeness (exact equality on
+/// planted-only scripts).  Honors the same environment variables as the
+/// main sweep, so CI covers it under every seed of the matrix.
+#[test]
+fn live_differential_sweep_all_cilk_shapes() {
+    let config = SweepConfig::from_env();
+    match run_live_sweep(&config) {
+        Ok(stats) => {
+            // 4 of the 5 shapes have a Cilk form; RandomSp is skipped.
+            assert_eq!(
+                stats.cases,
+                (ShapeKind::ALL.len() as u64 - 1) * config.cases_per_shape as u64,
+                "every Cilk-form case must run live"
+            );
+            assert!(stats.planted > 0, "planted-race check must not be vacuous");
+            assert!(
+                stats.parallel_runs >= 2 * stats.cases,
+                "both live maintainers must run multi-worker on every case"
+            );
+            println!(
+                "live conformance sweep green: {} cases, {} threads, {} accesses, \
+                 {} planted + {} emergent races, {} multi-worker live runs (seed {:#x})",
+                stats.cases,
+                stats.threads,
+                stats.accesses,
+                stats.planted,
+                stats.emergent,
+                stats.parallel_runs,
                 config.base_seed
             );
         }

@@ -39,11 +39,13 @@
 pub mod backend;
 pub mod global_tier;
 pub mod hybrid;
+pub mod live;
 pub mod local_tier;
 pub mod naive;
 pub mod trace;
 
 pub use backend::{HybridBackend, NaiveBackend};
 pub use hybrid::{run_hybrid, HybridConfig, HybridStats, SpHybrid};
+pub use live::{LiveHybridConfig, LiveSpHybrid};
 pub use naive::NaiveSharedSpOrder;
 pub use trace::TraceId;

@@ -1,0 +1,253 @@
+//! Live SP-hybrid: the two-tier structure of §4–§7 driven by a **live**
+//! fork-join execution instead of a pre-built parse tree.
+//!
+//! [`crate::SpHybrid`] derives every maintenance event from a materialized
+//! [`sptree::tree::ParseTree`] (procedure of a node, spawned child, node
+//! kind).  In a live `spprog` run that information arrives *with the event
+//! stream* — the runtime knows, at each spawn, which procedure is spawning
+//! and which fresh procedure it spawns — so the same two tiers can be driven
+//! with no tree at all:
+//!
+//! * the **global tier** is untouched: [`GlobalTier`]'s concurrent English /
+//!   Hebrew order-maintenance lists over traces, insertions only at steals;
+//! * the **local tier** is untouched: per-trace SP-bags over the concurrent
+//!   union-find, keyed by *procedure ids* the live runtime allocates as
+//!   procedures are instantiated;
+//! * steals consume the scheduler's steal tokens exactly like the tree
+//!   walker: the victim's trace (carried in the token) splits five ways
+//!   (Figure 8, lines 19–24), the stolen continuation runs under U⁽⁴⁾ and
+//!   the post-join code under U⁽⁵⁾.
+//!
+//! Because capacity of the two substrates must be fixed up front (lock-free
+//! queries address preallocated slabs), a live run declares budgets in
+//! [`LiveHybridConfig`]: the maximum number of threads and steals.  Both are
+//! enforced with a clear panic — a real runtime would reserve generously and
+//! treat exhaustion as an abort, exactly as we do.
+//!
+//! See `ARCHITECTURE.md#live-execution-spprog`.
+
+use sptree::tree::{ProcId, ThreadId};
+
+use crate::global_tier::GlobalTier;
+use crate::local_tier::{BagKind, LocalTier};
+use crate::trace::{TraceArena, TraceId};
+
+/// Capacity budgets of a live SP-hybrid run.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveHybridConfig {
+    /// Maximum number of threads the program may execute (sizes the shared
+    /// union-find; exceeded ⇒ panic).
+    pub max_threads: usize,
+    /// Maximum number of steals (each creates 4 traces; sizes the global
+    /// tier's order-maintenance slabs; exceeded ⇒ panic).
+    pub max_steals: usize,
+}
+
+impl Default for LiveHybridConfig {
+    fn default() -> Self {
+        LiveHybridConfig {
+            max_threads: 1 << 16,
+            max_steals: 1 << 12,
+        }
+    }
+}
+
+/// The two-tier parallel SP-maintenance structure for live executions.
+///
+/// Queries follow Figure 9, identically to [`crate::SpHybrid`]: relate an
+/// already-executed thread to the currently executing thread of a trace.
+pub struct LiveSpHybrid {
+    global: GlobalTier,
+    local: LocalTier,
+    traces: TraceArena,
+    root_trace: TraceId,
+    max_threads: usize,
+}
+
+impl LiveSpHybrid {
+    /// Build an empty structure under the given budgets.
+    pub fn new(config: LiveHybridConfig) -> Self {
+        let max_traces = 4 * config.max_steals + 16;
+        let (global, eng_base, heb_base) = GlobalTier::new(max_traces.max(4));
+        let (traces, root_trace) = TraceArena::new(eng_base, heb_base);
+        LiveSpHybrid {
+            global,
+            local: LocalTier::new(config.max_threads.max(1)),
+            traces,
+            root_trace,
+            max_threads: config.max_threads.max(1),
+        }
+    }
+
+    /// The trace the computation starts in (encode it as the scheduler's
+    /// initial token).
+    pub fn root_trace(&self) -> TraceId {
+        self.root_trace
+    }
+
+    /// Number of traces created so far (4·steals + 1).
+    pub fn num_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Global-tier insertions performed so far (one per steal).
+    pub fn global_insertions(&self) -> u64 {
+        self.global.insertions()
+    }
+
+    /// Lock-free query attempts that had to be retried.
+    pub fn query_retries(&self) -> u64 {
+        self.global.query_retries()
+    }
+
+    /// Approximate heap bytes used by the two tiers.
+    pub fn space_bytes(&self) -> usize {
+        self.global.space_bytes() + self.local.space_bytes()
+    }
+
+    /// Which trace does an already-executed thread currently belong to, and
+    /// is its bag an S-bag?  (`FIND-TRACE`; diagnostics and tests.)
+    pub fn find_trace(&self, thread: ThreadId) -> (TraceId, bool) {
+        let (trace, kind) = self.local.find_trace(thread);
+        (trace, kind == BagKind::S)
+    }
+
+    /// `SP-PRECEDES(earlier, current)` (Figure 9): does the already-executed
+    /// thread `earlier` logically precede the currently executing thread,
+    /// which runs as part of `current_trace`?
+    pub fn precedes_current(&self, earlier: ThreadId, current_trace: TraceId) -> bool {
+        let (trace, kind) = self.local.find_trace(earlier);
+        if trace == current_trace {
+            kind == BagKind::S
+        } else {
+            let a = self.traces.get(trace);
+            let b = self.traces.get(current_trace);
+            self.global.precedes((a.eng, a.heb), (b.eng, b.heb))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance events, invoked by the live runtime.
+    // ------------------------------------------------------------------
+
+    /// Line 3 of Figure 8: `thread` (of procedure `proc`, running as part of
+    /// `trace`) starts executing — insert it into the procedure's S-bag.
+    pub fn thread_executed(&self, proc: ProcId, thread: ThreadId, trace: TraceId) {
+        assert!(
+            thread.index() < self.max_threads,
+            "live run exceeded max_threads ({}); raise LiveHybridConfig::max_threads",
+            self.max_threads
+        );
+        let state = self.traces.get(trace);
+        let mut local = state.local.lock();
+        self.local.thread_executed(&mut local, trace, proc, thread);
+    }
+
+    /// The child procedure `child` spawned by `proc` returned without its
+    /// continuation having been stolen: fold the child's S-bag into `proc`'s
+    /// P-bag.
+    pub fn child_returned(&self, proc: ProcId, child: ProcId, trace: TraceId) {
+        let state = self.traces.get(trace);
+        let mut local = state.local.lock();
+        self.local.child_returned(&mut local, trace, proc, child);
+    }
+
+    /// A spawn of `proc` completed unstolen through its join point: fold the
+    /// P-bag into the S-bag (the `sync` of the canonical form).
+    pub fn synced(&self, proc: ProcId, trace: TraceId) {
+        let state = self.traces.get(trace);
+        let mut local = state.local.lock();
+        self.local.sync(&mut local, trace, proc);
+    }
+
+    /// Lines 19–24 of Figure 8: the continuation of a spawn in procedure
+    /// `proc` was stolen from `victim_trace`.  Creates the four new traces
+    /// in the global orders and splits the victim's local tier in O(1).
+    /// Returns `(U⁽⁴⁾, U⁽⁵⁾)` — the traces of the stolen continuation and of
+    /// the post-join code — for the scheduler's steal tokens.
+    pub fn split(&self, proc: ProcId, victim_trace: TraceId) -> (TraceId, TraceId) {
+        let u_state = self.traces.get(victim_trace);
+        let handles = self.global.insert_split(u_state.eng, u_state.heb);
+        let u1 = self.traces.push(handles.u1.0, handles.u1.1);
+        let u2 = self.traces.push(handles.u2.0, handles.u2.1);
+        let u4 = self.traces.push(handles.u4.0, handles.u4.1);
+        let u5 = self.traces.push(handles.u5.0, handles.u5.1);
+        {
+            let mut local = u_state.local.lock();
+            self.local.split(&mut local, proc, u1, u2);
+        }
+        (u4, u5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replay the serial event stream of `main { u0; spawn child {u1; u2};
+    /// u3; sync; u4 }` and check Figure-9 answers at every step.
+    #[test]
+    fn serial_event_stream_answers_like_sp_bags() {
+        let h = LiveSpHybrid::new(LiveHybridConfig { max_threads: 16, max_steals: 4 });
+        let u = h.root_trace();
+        let (main, child) = (ProcId(0), ProcId(1));
+
+        h.thread_executed(main, ThreadId(0), u);
+        h.thread_executed(child, ThreadId(1), u);
+        assert!(h.precedes_current(ThreadId(1), u), "same procedure, serial");
+        h.thread_executed(child, ThreadId(2), u);
+        h.child_returned(main, child, u);
+        h.thread_executed(main, ThreadId(3), u);
+        // The child's threads are parallel to the continuation...
+        assert!(!h.precedes_current(ThreadId(1), u));
+        assert!(!h.precedes_current(ThreadId(2), u));
+        // ...but the spawn-preceding thread of main still precedes.
+        assert!(h.precedes_current(ThreadId(0), u));
+        h.synced(main, u);
+        h.thread_executed(main, ThreadId(4), u);
+        for t in 0..4 {
+            assert!(h.precedes_current(ThreadId(t), u), "after sync, u{t} precedes");
+        }
+        assert_eq!(h.num_traces(), 1);
+        assert_eq!(h.global_insertions(), 0);
+    }
+
+    /// A split moves the stolen procedure's bags into U⁽¹⁾/U⁽²⁾ and orders
+    /// the new traces per Figure 12.
+    #[test]
+    fn split_consumes_steal_and_orders_traces() {
+        let h = LiveSpHybrid::new(LiveHybridConfig { max_threads: 16, max_steals: 4 });
+        let u = h.root_trace();
+        let (main, child) = (ProcId(0), ProcId(1));
+        // main runs u0, spawns child; the victim descends into the child
+        // while a thief steals the continuation.
+        h.thread_executed(main, ThreadId(0), u);
+        let (u4, u5) = h.split(main, u);
+        assert_eq!(h.num_traces(), 5);
+        assert_eq!(h.global_insertions(), 1);
+        // The victim keeps executing the child's body in U (= U3).
+        h.thread_executed(child, ThreadId(1), u);
+        // The thief executes the continuation thread in U4.
+        h.thread_executed(main, ThreadId(2), u4);
+        // u0 moved to U1: precedes both sides.
+        assert!(h.precedes_current(ThreadId(0), u));
+        assert!(h.precedes_current(ThreadId(0), u4));
+        // Child body (U3) and stolen continuation (U4) are parallel.
+        assert!(!h.precedes_current(ThreadId(1), u4));
+        assert!(!h.precedes_current(ThreadId(2), u));
+        // Everything precedes the post-join trace U5.
+        for t in 0..3 {
+            assert!(h.precedes_current(ThreadId(t), u5), "u{t} precedes the join");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads")]
+    fn exceeding_the_thread_budget_panics_with_guidance() {
+        let h = LiveSpHybrid::new(LiveHybridConfig { max_threads: 2, max_steals: 1 });
+        let u = h.root_trace();
+        h.thread_executed(ProcId(0), ThreadId(0), u);
+        h.thread_executed(ProcId(0), ThreadId(1), u);
+        h.thread_executed(ProcId(0), ThreadId(2), u);
+    }
+}

@@ -40,6 +40,7 @@ pub mod english_hebrew;
 pub mod offset_span;
 pub mod sp_bags;
 pub mod sp_order;
+pub mod stream;
 
 pub use api::{
     run_serial, run_serial_backend, run_serial_with_queries, BackendConfig, CurrentSpQuery,
@@ -49,3 +50,4 @@ pub use english_hebrew::EnglishHebrewLabels;
 pub use offset_span::OffsetSpanLabels;
 pub use sp_bags::SpBags;
 pub use sp_order::SpOrder;
+pub use stream::{stream_tree, StreamNode, StreamingSpBackend, StreamingSpOrder};

@@ -1,0 +1,212 @@
+//! The programmatic fork-join language: procedures built from `step`,
+//! `spawn`, and `sync`.
+//!
+//! A [`Proc`] is a Cilk procedure: a series of *sync blocks*, each a list of
+//! statements.  A statement is either a **step** — one thread of serial work,
+//! a user closure that reads and writes shared memory through
+//! [`StepCtx`] — or a **spawn** of a child procedure that
+//! runs logically in parallel with the rest of the block.
+//! [`ProcBuilder::sync`] ends the block, joining every procedure spawned in
+//! it.  This is exactly the canonical Cilk form of paper Figure 10
+//! ([`sptree::cilk`]), with closures in place of abstract work counters.
+//!
+//! Spawned children can be given two ways:
+//!
+//! * [`ProcBuilder::spawn_proc`] — an already-built [`Proc`];
+//! * [`ProcBuilder::spawn`] — a *builder closure*, evaluated lazily by the
+//!   executing worker when the spawn statement is reached.  This is what
+//!   makes recursion natural (a function returning a builder closure) and
+//!   what keeps the program an *unfolding* computation: nothing below a
+//!   spawn exists until the spawn executes.
+//!
+//! A `Proc` is inert data; [`run_program`](crate::run_program) executes it
+//! (serially or on the work-stealing scheduler) with on-the-fly SP
+//! maintenance and online race detection, and
+//! [`record_program`](crate::record_program) lowers one serial execution
+//! into the equivalent parse tree + access script for the offline engines.
+
+use std::sync::Arc;
+
+use crate::runtime::StepCtx;
+
+/// A step closure: one thread of serial work.
+pub type StepFn = dyn Fn(&mut StepCtx<'_>) + Send + Sync;
+
+/// A spawn-body closure, evaluated when the spawn statement executes.
+pub type SpawnFn = dyn Fn(&mut ProcBuilder) + Send + Sync;
+
+/// How a spawned child procedure is obtained.
+pub(crate) enum SpawnBody {
+    /// Pre-built procedure (cloned per instantiation — cheap, it is an
+    /// `Arc` of blocks).
+    Built(Proc),
+    /// Builder closure run by the executing worker at spawn time.
+    Lazy(Arc<SpawnFn>),
+}
+
+impl SpawnBody {
+    /// Materialize the child procedure for one spawn execution.
+    pub(crate) fn instantiate(&self) -> Proc {
+        match self {
+            SpawnBody::Built(p) => p.clone(),
+            SpawnBody::Lazy(f) => {
+                let mut b = ProcBuilder::new();
+                f(&mut b);
+                b.finish()
+            }
+        }
+    }
+}
+
+/// One statement of a sync block.
+pub(crate) enum Stmt {
+    /// Serial work: one thread running the closure.
+    Step(Arc<StepFn>),
+    /// Spawn of a child procedure.
+    Spawn(SpawnBody),
+}
+
+/// A maximal region of a procedure terminated by a `sync`.
+pub(crate) struct Block {
+    pub(crate) stmts: Vec<Stmt>,
+}
+
+/// A live fork-join procedure: a series of sync blocks of steps and spawns.
+///
+/// Build one with [`build_proc`]; run it with
+/// [`run_program`](crate::run_program).  Cloning is cheap (shared blocks)
+/// and runs are independent: the same `Proc` can be recorded, executed
+/// serially, and executed on many workers, each run unfolding its own
+/// parse-tree structure.
+#[derive(Clone)]
+pub struct Proc {
+    pub(crate) blocks: Arc<Vec<Block>>,
+}
+
+impl Proc {
+    /// Number of sync blocks (an empty procedure — zero blocks — executes as
+    /// a single empty thread).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of statements across all blocks of *this* procedure (children
+    /// of spawns are not counted — lazily spawned ones do not exist yet).
+    pub fn num_statements(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+}
+
+/// Builder of a [`Proc`]; handed to [`build_proc`] and to
+/// [`ProcBuilder::spawn`] bodies.
+#[derive(Default)]
+pub struct ProcBuilder {
+    blocks: Vec<Block>,
+    current: Vec<Stmt>,
+}
+
+impl ProcBuilder {
+    pub(crate) fn new() -> Self {
+        ProcBuilder::default()
+    }
+
+    /// Append one thread of serial work.  The closure runs when the step
+    /// executes, with a [`StepCtx`] for shared-memory reads
+    /// and writes.
+    pub fn step(&mut self, f: impl Fn(&mut StepCtx<'_>) + Send + Sync + 'static) -> &mut Self {
+        self.current.push(Stmt::Step(Arc::new(f)));
+        self
+    }
+
+    /// Spawn a child procedure described by a builder closure.  The closure
+    /// is evaluated *when the spawn executes*, on the executing worker — the
+    /// program unfolds lazily, which is what recursive programs rely on.
+    pub fn spawn(&mut self, body: impl Fn(&mut ProcBuilder) + Send + Sync + 'static) -> &mut Self {
+        self.current.push(Stmt::Spawn(SpawnBody::Lazy(Arc::new(body))));
+        self
+    }
+
+    /// Spawn an already-built child procedure.
+    pub fn spawn_proc(&mut self, child: Proc) -> &mut Self {
+        self.current.push(Stmt::Spawn(SpawnBody::Built(child)));
+        self
+    }
+
+    /// End the current sync block: join every procedure spawned in it.  A
+    /// trailing `sync` before the procedure ends is implicit (as in Cilk),
+    /// so `step(a); sync()` and `step(a)` describe the same procedure.
+    pub fn sync(&mut self) -> &mut Self {
+        self.blocks.push(Block {
+            stmts: std::mem::take(&mut self.current),
+        });
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> Proc {
+        if !self.current.is_empty() {
+            self.blocks.push(Block {
+                stmts: std::mem::take(&mut self.current),
+            });
+        }
+        Proc {
+            blocks: Arc::new(self.blocks),
+        }
+    }
+}
+
+/// Build a procedure with a builder closure (the eager, top-level
+/// counterpart of [`ProcBuilder::spawn`]).
+///
+/// See the crate-level documentation for a complete racy example.
+pub fn build_proc(body: impl FnOnce(&mut ProcBuilder)) -> Proc {
+    let mut b = ProcBuilder::new();
+    body(&mut b);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_sync_is_implicit() {
+        let explicit = build_proc(|p| {
+            p.step(|_| {}).sync();
+        });
+        let implicit = build_proc(|p| {
+            p.step(|_| {});
+        });
+        assert_eq!(explicit.num_blocks(), 1);
+        assert_eq!(implicit.num_blocks(), 1);
+        assert_eq!(explicit.num_statements(), 1);
+    }
+
+    #[test]
+    fn sync_splits_blocks() {
+        let p = build_proc(|p| {
+            p.step(|_| {}).spawn(|_| {}).sync();
+            p.step(|_| {});
+        });
+        assert_eq!(p.num_blocks(), 2);
+        assert_eq!(p.num_statements(), 3);
+    }
+
+    #[test]
+    fn empty_procedure_has_no_blocks() {
+        let p = build_proc(|_| {});
+        assert_eq!(p.num_blocks(), 0);
+        assert_eq!(p.num_statements(), 0);
+    }
+
+    #[test]
+    fn lazy_spawn_bodies_instantiate_fresh_procedures() {
+        let body = SpawnBody::Lazy(Arc::new(|b: &mut ProcBuilder| {
+            b.step(|_| {});
+        }));
+        let a = body.instantiate();
+        let b = body.instantiate();
+        assert_eq!(a.num_statements(), 1);
+        assert_eq!(b.num_statements(), 1);
+        assert!(!Arc::ptr_eq(&a.blocks, &b.blocks), "each spawn unfolds fresh");
+    }
+}

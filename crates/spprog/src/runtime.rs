@@ -1,0 +1,557 @@
+//! Executing live programs: serial elision, work-stealing run, online
+//! detection wiring.
+//!
+//! Three run modes over the same unfolding (the crate-internal `unfold` module):
+//!
+//! * **Serial** (`workers == 1`) — [`forkrt::run_live_serial`] on the calling
+//!   thread.  SP maintenance is the streaming SP-order
+//!   ([`spmaint::StreamingSpOrder`]), whose node handles ride the
+//!   scheduler's *tags*; detection is [`racedet::LiveDetector`] with the
+//!   same per-thread batching as the offline engine.  Deterministic: thread
+//!   ids, query answers, and the race report are bit-identical across runs —
+//!   and bit-identical to offline serial detection on the recorded tree.
+//! * **Parallel, SP-hybrid** — [`forkrt::run_live`] with
+//!   [`sphybrid::LiveSpHybrid`]: tokens carry [`TraceId`]s, steals split the
+//!   victim's trace five ways (the steal token *is* the split input), and
+//!   queries follow paper Figure 9.
+//! * **Parallel, naive-locked** — the §3 strawman live: one global mutex
+//!   around a shared streaming SP-order.  Kept as the ablation/cross-check
+//!   backend, exactly like its tree-driven sibling.
+//!
+//! [`run_uninstrumented`] executes the program with *no* SP maintenance and
+//! no detection (values only) — the baseline of the `live_overhead` bench.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use forkrt::{
+    run_live, run_live_serial, LiveConfig, LiveVisitor, SerialLiveVisitor, SpKind, StealTokens,
+    Token,
+};
+use parking_lot::Mutex;
+use racedet::{Access, LiveDetector, RaceReport};
+use spmaint::api::{CurrentSpQuery, SpQuery};
+use spmaint::stream::{StreamNode, StreamingSpBackend, StreamingSpOrder};
+use sphybrid::live::{LiveHybridConfig, LiveSpHybrid};
+use sphybrid::TraceId;
+use sptree::tree::ThreadId;
+
+use crate::program::Proc;
+use crate::unfold::{LiveCilk, Meta};
+
+// ---------------------------------------------------------------------------
+// Step context
+// ---------------------------------------------------------------------------
+
+enum MemRef<'a> {
+    Detector(&'a LiveDetector),
+    Raw(&'a [AtomicU64]),
+}
+
+/// The view a step closure gets of shared memory.
+///
+/// Reads and writes go to the program's *value* memory immediately (racy
+/// programs really race on it — it is atomic word storage); in instrumented
+/// runs each access is also recorded and checked against the shadow memory
+/// when the step ends, exactly like the offline engine checks one thread's
+/// scripted accesses.
+pub struct StepCtx<'a> {
+    mem: MemRef<'a>,
+    trace: Option<&'a mut Vec<Access>>,
+}
+
+impl StepCtx<'_> {
+    /// Read a shared location, returning its current value.
+    pub fn read(&mut self, loc: u32) -> u64 {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(Access::read(loc));
+        }
+        match &self.mem {
+            MemRef::Detector(d) => d.read(loc),
+            MemRef::Raw(v) => raw_cell(v, loc).load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write a value to a shared location.
+    pub fn write(&mut self, loc: u32, value: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(Access::write(loc));
+        }
+        match &self.mem {
+            MemRef::Detector(d) => d.write(loc, value),
+            MemRef::Raw(v) => raw_cell(v, loc).store(value, Ordering::Relaxed),
+        }
+    }
+
+    /// Replay a pre-recorded access (scripted workloads); reads discard the
+    /// value, writes store a marker.
+    pub fn access(&mut self, access: Access) {
+        match access.kind {
+            racedet::AccessKind::Read => {
+                self.read(access.loc);
+            }
+            racedet::AccessKind::Write => self.write(access.loc, 1),
+        }
+    }
+}
+
+/// Step context over a detector's value memory, recording accesses into
+/// `buf` — the recorder's way of running steps (crate-internal).
+pub(crate) fn record_step_ctx<'a>(
+    detector: &'a LiveDetector,
+    buf: &'a mut Vec<Access>,
+) -> StepCtx<'a> {
+    StepCtx {
+        mem: MemRef::Detector(detector),
+        trace: Some(buf),
+    }
+}
+
+fn raw_cell(values: &[AtomicU64], loc: u32) -> &AtomicU64 {
+    values.get(loc as usize).unwrap_or_else(|| {
+        panic!(
+            "location {loc} is outside the configured shared memory (0..{}); \
+             raise `locations` in the run config",
+            values.len()
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and outcome
+// ---------------------------------------------------------------------------
+
+/// Which SP maintainer a multi-worker live run uses (`workers == 1` always
+/// runs the deterministic serial streaming SP-order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LiveMaintainer {
+    /// Two-tier live SP-hybrid (paper §4–§7): steal tokens are trace splits.
+    #[default]
+    Hybrid,
+    /// One global lock around a shared streaming SP-order (the §3 strawman);
+    /// the cross-check/ablation backend.
+    NaiveLocked,
+}
+
+/// Configuration of a live run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Worker threads; 1 means deterministic serial execution on the calling
+    /// thread.  Clamped to ≥ 1 ([`forkrt::WalkConfig`]-style) so a
+    /// struct-literal 0 cannot diverge from the tree-driven engines.
+    pub workers: usize,
+    /// Number of shared-memory locations (sizes value + shadow memory).
+    pub locations: u32,
+    /// Budget for the number of threads the program may execute
+    /// (multi-worker SP-hybrid runs preallocate lock-free slabs; exceeded ⇒
+    /// panic with guidance).
+    pub max_threads: usize,
+    /// Budget for the number of steals (sizes the global tier).
+    pub max_steals: usize,
+    /// SP maintainer for multi-worker runs.
+    pub maintainer: LiveMaintainer,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            workers: 1,
+            locations: 64,
+            max_threads: 1 << 16,
+            max_steals: 1 << 12,
+            maintainer: LiveMaintainer::Hybrid,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Serial run over `locations` shared locations.
+    pub fn serial(locations: u32) -> Self {
+        RunConfig {
+            locations,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Multi-worker run over `locations` shared locations.
+    pub fn with_workers(workers: usize, locations: u32) -> Self {
+        RunConfig {
+            workers: workers.max(1),
+            locations,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Outcome of an instrumented live run.
+#[derive(Debug)]
+pub struct LiveRun {
+    /// Races detected online, while the program ran.
+    pub report: RaceReport,
+    /// Threads (SP parse-tree leaves) executed.
+    pub threads: u64,
+    /// Successful steals (0 for serial runs).
+    pub steals: u64,
+    /// Traces at the end (4·steals + 1 for SP-hybrid; 1 otherwise).
+    pub traces: usize,
+    /// Workers the run actually used.
+    pub workers: usize,
+    /// Which maintainer answered the SP queries.
+    pub maintainer: &'static str,
+    /// Approximate heap bytes of the SP structures (not the detector).
+    pub sp_space_bytes: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// Serial run
+// ---------------------------------------------------------------------------
+
+struct SerialRunVisitor<'a> {
+    sp: StreamingSpOrder,
+    detector: &'a LiveDetector,
+    next_thread: u32,
+    buf: Vec<Access>,
+}
+
+impl SerialLiveVisitor<LiveCilk> for SerialRunVisitor<'_> {
+    fn enter_internal(&mut self, kind: SpKind, _meta: &Meta, tag: u64) -> (u64, u64) {
+        let (l, r) = self.sp.expand(StreamNode::from_tag(tag), kind.is_parallel());
+        (l.to_tag(), r.to_tag())
+    }
+
+    fn execute_leaf(&mut self, meta: &Meta, tag: u64) {
+        let thread = ThreadId(self.next_thread);
+        self.next_thread += 1;
+        self.sp.execute(StreamNode::from_tag(tag), thread);
+        self.buf.clear();
+        if let Some(step) = &meta.step {
+            step(&mut StepCtx {
+                mem: MemRef::Detector(self.detector),
+                trace: Some(&mut self.buf),
+            });
+        }
+        self.detector.check_thread(&self.sp, thread, &self.buf);
+    }
+}
+
+fn run_serial(prog: &Proc, config: &RunConfig) -> LiveRun {
+    let program = LiveCilk::new(prog);
+    let detector = LiveDetector::new(config.locations, 1);
+    let (sp, root) = StreamingSpOrder::stream_new();
+    let mut visitor = SerialRunVisitor {
+        sp,
+        detector: &detector,
+        next_thread: 0,
+        buf: Vec::new(),
+    };
+    let start = Instant::now();
+    let threads = run_live_serial(&program, &mut visitor, root.to_tag());
+    let elapsed = start.elapsed();
+    let (maintainer, sp_space_bytes) = (visitor.sp.stream_name(), visitor.sp.stream_space_bytes());
+    drop(visitor);
+    LiveRun {
+        report: detector.into_report(),
+        threads,
+        steals: 0,
+        traces: 1,
+        workers: 1,
+        maintainer,
+        sp_space_bytes,
+        elapsed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel run, SP-hybrid
+// ---------------------------------------------------------------------------
+
+struct HybridView<'a> {
+    hybrid: &'a LiveSpHybrid,
+    trace: TraceId,
+}
+
+impl CurrentSpQuery for HybridView<'_> {
+    fn precedes_current(&self, earlier: ThreadId) -> bool {
+        self.hybrid.precedes_current(earlier, self.trace)
+    }
+}
+
+struct HybridRunVisitor<'a> {
+    hybrid: &'a LiveSpHybrid,
+    detector: &'a LiveDetector,
+    next_thread: &'a AtomicU32,
+    /// Per-worker access buffers, reused across leaves (indexed by worker;
+    /// each lock is only ever taken by its own worker, so it is uncontended).
+    bufs: Vec<Mutex<Vec<Access>>>,
+}
+
+impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
+    fn execute_leaf(&self, worker: usize, meta: &Meta, _tag: u64, token: Token) {
+        let trace = TraceId::from_token(token);
+        let thread = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
+        // Line 3 of Figure 8: insert the thread into its trace, then run it.
+        self.hybrid.thread_executed(meta.proc, thread, trace);
+        let mut buf = self.bufs[worker].lock();
+        buf.clear();
+        if let Some(step) = &meta.step {
+            step(&mut StepCtx {
+                mem: MemRef::Detector(self.detector),
+                trace: Some(&mut buf),
+            });
+        }
+        self.detector.check_thread(
+            &HybridView {
+                hybrid: self.hybrid,
+                trace,
+            },
+            thread,
+            &buf,
+        );
+    }
+
+    fn between_children(&self, _worker: usize, kind: SpKind, meta: &Meta, token: Token) {
+        if kind.is_parallel() {
+            let spawned = meta.spawned.expect("P-nodes carry their spawned procedure");
+            self.hybrid
+                .child_returned(meta.proc, spawned, TraceId::from_token(token));
+        }
+    }
+
+    fn leave_internal(&self, _worker: usize, kind: SpKind, meta: &Meta, token: Token) {
+        if kind.is_parallel() {
+            self.hybrid.synced(meta.proc, TraceId::from_token(token));
+        }
+    }
+
+    fn steal(&self, _thief: usize, _victim: usize, meta: &Meta, token: Token) -> StealTokens {
+        let (u4, u5) = self.hybrid.split(meta.proc, TraceId::from_token(token));
+        StealTokens {
+            right: u4.to_token(),
+            after: u5.to_token(),
+        }
+    }
+}
+
+fn run_parallel_hybrid(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRun {
+    let program = LiveCilk::new(prog);
+    let detector = LiveDetector::new(config.locations, workers);
+    let hybrid = LiveSpHybrid::new(LiveHybridConfig {
+        max_threads: config.max_threads,
+        max_steals: config.max_steals,
+    });
+    let next_thread = AtomicU32::new(0);
+    let visitor = HybridRunVisitor {
+        hybrid: &hybrid,
+        detector: &detector,
+        next_thread: &next_thread,
+        bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+    };
+    let stats = run_live(
+        &program,
+        &visitor,
+        LiveConfig::with_workers(workers),
+        0,
+        hybrid.root_trace().to_token(),
+    );
+    LiveRun {
+        report: detector.into_report(),
+        threads: stats.total_threads(),
+        steals: stats.steals,
+        traces: hybrid.num_traces(),
+        workers,
+        maintainer: "live-sp-hybrid",
+        sp_space_bytes: hybrid.space_bytes(),
+        elapsed: stats.elapsed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel run, naive-locked
+// ---------------------------------------------------------------------------
+
+struct NaiveShared {
+    sp: Mutex<StreamingSpOrder>,
+}
+
+struct NaiveView<'a> {
+    shared: &'a NaiveShared,
+    current: ThreadId,
+}
+
+impl CurrentSpQuery for NaiveView<'_> {
+    fn precedes_current(&self, earlier: ThreadId) -> bool {
+        // Arbitrary-pair query under the global lock; `current` is pinned
+        // explicitly because other workers advance the structure's notion of
+        // "current thread" concurrently.
+        self.shared.sp.lock().precedes(earlier, self.current)
+    }
+}
+
+struct NaiveRunVisitor<'a> {
+    shared: &'a NaiveShared,
+    detector: &'a LiveDetector,
+    next_thread: &'a AtomicU32,
+    /// Per-worker access buffers, reused across leaves.
+    bufs: Vec<Mutex<Vec<Access>>>,
+}
+
+impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
+    fn enter_internal(
+        &self,
+        _worker: usize,
+        kind: SpKind,
+        _meta: &Meta,
+        tag: u64,
+        _token: Token,
+    ) -> (u64, u64) {
+        let (l, r) = self
+            .shared
+            .sp
+            .lock()
+            .expand(StreamNode::from_tag(tag), kind.is_parallel());
+        (l.to_tag(), r.to_tag())
+    }
+
+    fn execute_leaf(&self, worker: usize, meta: &Meta, tag: u64, _token: Token) {
+        let thread = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
+        self.shared
+            .sp
+            .lock()
+            .execute(StreamNode::from_tag(tag), thread);
+        let mut buf = self.bufs[worker].lock();
+        buf.clear();
+        if let Some(step) = &meta.step {
+            step(&mut StepCtx {
+                mem: MemRef::Detector(self.detector),
+                trace: Some(&mut buf),
+            });
+        }
+        self.detector.check_thread(
+            &NaiveView {
+                shared: self.shared,
+                current: thread,
+            },
+            thread,
+            &buf,
+        );
+    }
+
+    fn steal(&self, _thief: usize, _victim: usize, _meta: &Meta, token: Token) -> StealTokens {
+        // The shared structure is schedule-independent: no split needed.
+        StealTokens {
+            right: token,
+            after: token,
+        }
+    }
+}
+
+fn run_parallel_naive(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRun {
+    let program = LiveCilk::new(prog);
+    let detector = LiveDetector::new(config.locations, workers);
+    let (sp, root) = StreamingSpOrder::stream_new();
+    let shared = NaiveShared { sp: Mutex::new(sp) };
+    let next_thread = AtomicU32::new(0);
+    let visitor = NaiveRunVisitor {
+        shared: &shared,
+        detector: &detector,
+        next_thread: &next_thread,
+        bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+    };
+    let stats = run_live(
+        &program,
+        &visitor,
+        LiveConfig::with_workers(workers),
+        root.to_tag(),
+        0,
+    );
+    let sp = shared.sp.into_inner();
+    LiveRun {
+        report: detector.into_report(),
+        threads: stats.total_threads(),
+        steals: stats.steals,
+        traces: 1,
+        workers,
+        maintainer: "live-naive-locked",
+        sp_space_bytes: sp.stream_space_bytes(),
+        elapsed: stats.elapsed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Execute a live program with on-the-fly SP maintenance and online race
+/// detection; races are detected *while the program runs*, with no
+/// materialized parse tree anywhere on this path.
+///
+/// See the crate-level documentation for a complete example.
+pub fn run_program(prog: &Proc, config: &RunConfig) -> LiveRun {
+    let workers = config.workers.max(1);
+    if workers == 1 {
+        run_serial(prog, config)
+    } else {
+        match config.maintainer {
+            LiveMaintainer::Hybrid => run_parallel_hybrid(prog, config, workers),
+            LiveMaintainer::NaiveLocked => run_parallel_naive(prog, config, workers),
+        }
+    }
+}
+
+/// Execute a live program with **no** instrumentation: no SP maintenance,
+/// no shadow memory, no access recording — just the user closures over
+/// atomic value memory on the scheduler.  The baseline of the
+/// `live_overhead` benchmark.  Returns `(threads, steals, elapsed)`.
+pub fn run_uninstrumented(prog: &Proc, workers: usize, locations: u32) -> (u64, u64, Duration) {
+    let program = LiveCilk::new(prog);
+    let values: Vec<AtomicU64> = (0..locations).map(|_| AtomicU64::new(0)).collect();
+    let workers = workers.max(1);
+    if workers == 1 {
+        struct Bare<'a> {
+            values: &'a [AtomicU64],
+        }
+        impl SerialLiveVisitor<LiveCilk> for Bare<'_> {
+            fn execute_leaf(&mut self, meta: &Meta, _tag: u64) {
+                if let Some(step) = &meta.step {
+                    step(&mut StepCtx {
+                        mem: MemRef::Raw(self.values),
+                        trace: None,
+                    });
+                }
+            }
+        }
+        let start = Instant::now();
+        let threads = run_live_serial(&program, &mut Bare { values: &values }, 0);
+        (threads, 0, start.elapsed())
+    } else {
+        struct Bare<'a> {
+            values: &'a [AtomicU64],
+        }
+        impl LiveVisitor<LiveCilk> for Bare<'_> {
+            fn execute_leaf(&self, _w: usize, meta: &Meta, _tag: u64, _token: Token) {
+                if let Some(step) = &meta.step {
+                    step(&mut StepCtx {
+                        mem: MemRef::Raw(self.values),
+                        trace: None,
+                    });
+                }
+            }
+            fn steal(&self, _t: usize, _v: usize, _m: &Meta, token: Token) -> StealTokens {
+                StealTokens {
+                    right: token,
+                    after: token,
+                }
+            }
+        }
+        let stats = run_live(
+            &program,
+            &Bare { values: &values },
+            LiveConfig::with_workers(workers),
+            0,
+            0,
+        );
+        (stats.total_threads(), stats.steals, stats.elapsed)
+    }
+}

@@ -1,0 +1,172 @@
+//! Lowering a live [`Proc`] into an unfolding [`forkrt::LiveProgram`].
+//!
+//! The cursor grammar mirrors the canonical Cilk lowering of
+//! [`sptree::cilk`] exactly, so a serial live execution visits threads in
+//! the same order (and with the same implicit empty sync threads) as the
+//! left-to-right walk of the tree that [`crate::record_program`] produces:
+//!
+//! * a procedure is the right-leaning series of its sync blocks;
+//! * inside a block, a step is `S(step-leaf, rest-of-block)`, a spawn is
+//!   `P(child-procedure, rest-of-block)` (the continuation is the right
+//!   child — what a thief steals), and the end of the block is the implicit
+//!   empty thread that reaches the sync;
+//! * an empty procedure is a single empty thread.
+//!
+//! Procedure instances get fresh [`ProcId`]s when their spawn executes —
+//! this is the information the live SP-hybrid's local tier keys its bags on,
+//! arriving with the event stream instead of from a materialized tree.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use forkrt::{LiveNode, LiveProgram, SpKind};
+use sptree::tree::ProcId;
+
+use crate::program::{Proc, SpawnBody, Stmt};
+use crate::StepFn;
+
+/// One instantiated procedure: its fresh id plus its (shared) blocks.
+pub(crate) struct ProcInst {
+    pub(crate) id: ProcId,
+    pub(crate) proc: Proc,
+}
+
+/// Position in the unfolding computation.
+pub(crate) enum Cursor {
+    /// The series of sync blocks `b..` of a procedure.
+    Blocks(Arc<ProcInst>, usize),
+    /// The statements `s..` of block `b` (ending in the implicit empty
+    /// thread that reaches the sync).
+    Rest(Arc<ProcInst>, usize, usize),
+    /// The single step leaf at statement `(b, s)`.
+    Step(Arc<ProcInst>, usize, usize),
+}
+
+/// Node metadata handed to visitors.
+pub struct Meta {
+    /// The procedure this node belongs to (for a P-node: the *spawning*
+    /// procedure, per the canonical convention).
+    pub proc: ProcId,
+    /// For a P-node: the procedure spawned into its left subtree.
+    pub spawned: Option<ProcId>,
+    /// For a step leaf: the user closure to run.  `None` for the implicit
+    /// empty threads (block ends, empty procedures).
+    pub step: Option<Arc<StepFn>>,
+}
+
+/// A [`Proc`] wrapped for one live run: allocates procedure ids as spawns
+/// unfold.  Create one per run — ids restart at the root for every run.
+pub(crate) struct LiveCilk {
+    root: Proc,
+    next_proc: AtomicU32,
+}
+
+impl LiveCilk {
+    pub(crate) fn new(root: &Proc) -> Self {
+        LiveCilk {
+            root: root.clone(),
+            next_proc: AtomicU32::new(1),
+        }
+    }
+
+    fn instantiate(&self, body: &SpawnBody) -> Arc<ProcInst> {
+        let proc = body.instantiate();
+        let id = ProcId(self.next_proc.fetch_add(1, Ordering::Relaxed));
+        Arc::new(ProcInst { id, proc })
+    }
+}
+
+impl LiveProgram for LiveCilk {
+    type Cursor = Cursor;
+    type Meta = Meta;
+
+    fn root(&self) -> Cursor {
+        Cursor::Blocks(
+            Arc::new(ProcInst {
+                id: ProcId(0),
+                proc: self.root.clone(),
+            }),
+            0,
+        )
+    }
+
+    fn unfold(&self, cursor: Cursor) -> LiveNode<Cursor, Meta> {
+        let mut cursor = cursor;
+        loop {
+            match cursor {
+                Cursor::Blocks(p, b) => {
+                    let n = p.proc.blocks.len();
+                    if n == 0 {
+                        // Empty procedure: a single empty thread.
+                        return LiveNode::Leaf(Meta {
+                            proc: p.id,
+                            spawned: None,
+                            step: None,
+                        });
+                    }
+                    if b + 1 == n {
+                        cursor = Cursor::Rest(p, b, 0);
+                        continue;
+                    }
+                    return LiveNode::Internal {
+                        kind: SpKind::Series,
+                        meta: Meta {
+                            proc: p.id,
+                            spawned: None,
+                            step: None,
+                        },
+                        left: Cursor::Rest(Arc::clone(&p), b, 0),
+                        right: Cursor::Blocks(p, b + 1),
+                    };
+                }
+                Cursor::Rest(p, b, s) => {
+                    let block = &p.proc.blocks[b];
+                    if s == block.stmts.len() {
+                        // The implicit empty thread that reaches the sync.
+                        return LiveNode::Leaf(Meta {
+                            proc: p.id,
+                            spawned: None,
+                            step: None,
+                        });
+                    }
+                    return match &block.stmts[s] {
+                        Stmt::Step(_) => LiveNode::Internal {
+                            kind: SpKind::Series,
+                            meta: Meta {
+                                proc: p.id,
+                                spawned: None,
+                                step: None,
+                            },
+                            left: Cursor::Step(Arc::clone(&p), b, s),
+                            right: Cursor::Rest(p, b, s + 1),
+                        },
+                        Stmt::Spawn(body) => {
+                            let child = self.instantiate(body);
+                            let spawned = child.id;
+                            LiveNode::Internal {
+                                kind: SpKind::Parallel,
+                                meta: Meta {
+                                    proc: p.id,
+                                    spawned: Some(spawned),
+                                    step: None,
+                                },
+                                left: Cursor::Blocks(child, 0),
+                                right: Cursor::Rest(p, b, s + 1),
+                            }
+                        }
+                    };
+                }
+                Cursor::Step(p, b, s) => {
+                    let Stmt::Step(f) = &p.proc.blocks[b].stmts[s] else {
+                        unreachable!("a Step cursor always points at a step statement");
+                    };
+                    return LiveNode::Leaf(Meta {
+                        proc: p.id,
+                        spawned: None,
+                        step: Some(Arc::clone(f)),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -9,9 +9,14 @@
 //! forks, random Cilk programs — together with access-script generators for
 //! the race-detection experiments.
 
+pub mod live;
 pub mod programs;
 pub mod scripts;
 
+pub use live::{
+    live_fib, live_from_cilk, live_matmul, live_parallel_loop, live_serial_chain,
+    live_spawn_chain, LiveWorkload,
+};
 pub use programs::{Workload, WorkloadKind};
 pub use scripts::{
     disjoint_writes, inject_races, racy_locations_oracle, random_mixed_script,

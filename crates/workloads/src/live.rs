@@ -1,0 +1,382 @@
+//! Live-program workloads: the [`programs`](crate::programs) families ported
+//! to the `spprog` spawn/sync API, plus a real-feeling kernel and the
+//! Cilk-procedure converter the conformance harness differentially tests
+//! with.
+//!
+//! Each generator returns a [`LiveWorkload`]: the program, its shared-memory
+//! size, and the locations it is *expected* to report racy (empty for the
+//! race-free variants) — so tests and benches can assert outcomes without
+//! re-deriving them.
+//!
+//! [`live_from_cilk`] converts any [`sptree::cilk::Procedure`] plus a
+//! per-thread access script into the equivalent live program, numbering step
+//! threads exactly as the canonical tree lowering does.  This is the bridge
+//! `spconform` uses to run one random program both ways.
+
+use racedet::AccessScript;
+use sptree::cilk::{Procedure, Stmt as CilkStmt};
+use sptree::tree::ThreadId;
+
+use spprog::{build_proc, Proc, ProcBuilder};
+
+/// A live program plus the facts tests need about it.
+pub struct LiveWorkload {
+    /// Short name for reports and benches.
+    pub name: &'static str,
+    /// The program.
+    pub prog: Proc,
+    /// Shared-memory size to run it with.
+    pub locations: u32,
+    /// Locations a correct detector must report racy (sorted; empty for the
+    /// race-free variants).
+    pub expected_racy: Vec<u32>,
+}
+
+/// fib-style divide-and-conquer recursion through **lazy** spawn bodies: the
+/// program unfolds procedure by procedure at run time.  With `racy`, every
+/// leaf increments location 0 — logically parallel increments, the textbook
+/// determinacy race; otherwise only the root writes it.
+pub fn live_fib(depth: u32, racy: bool) -> LiveWorkload {
+    fn body(n: u32, racy: bool) -> impl Fn(&mut ProcBuilder) + Send + Sync {
+        move |p: &mut ProcBuilder| {
+            if n < 2 {
+                p.step(move |m| {
+                    if racy {
+                        let v = m.read(0);
+                        m.write(0, v + 1);
+                    }
+                });
+                return;
+            }
+            p.spawn(body(n - 1, racy));
+            p.spawn(body(n - 2, racy));
+            p.step(|_| {});
+        }
+    }
+    let prog = build_proc(|p| {
+        if !racy {
+            p.step(|m| m.write(0, 1));
+        }
+        body(depth, racy)(p);
+    });
+    LiveWorkload {
+        name: "live-fib",
+        prog,
+        locations: 1,
+        expected_racy: if racy { vec![0] } else { vec![] },
+    }
+}
+
+/// Flat parallel loop: `iterations` children spawned from one sync block,
+/// each writing its own location; after the sync, the parent combines them.
+/// With `racy`, the first two children additionally write a shared cell.
+pub fn live_parallel_loop(iterations: u32, racy: bool) -> LiveWorkload {
+    let sum_loc = iterations;
+    let racy_loc = iterations + 1;
+    let prog = build_proc(|p| {
+        for i in 0..iterations {
+            p.spawn(move |c| {
+                c.step(move |m| {
+                    m.write(i, u64::from(i) + 1);
+                    if racy && i < 2 {
+                        m.write(racy_loc, u64::from(i));
+                    }
+                });
+            });
+        }
+        p.sync();
+        p.step(move |m| {
+            let total: u64 = (0..iterations).map(|i| m.read(i)).sum();
+            m.write(sum_loc, total);
+        });
+    });
+    LiveWorkload {
+        name: "live-parallel-loop",
+        prog,
+        locations: iterations + 2,
+        expected_racy: if racy && iterations >= 2 { vec![racy_loc] } else { vec![] },
+    }
+}
+
+/// Maximal spawn nesting: a chain of procedures each spawning one child and
+/// then doing work in the continuation.  Race-free, every level writes its
+/// own location; with `racy`, every level writes location 0 instead — the
+/// continuation races with its entire spawned subtree.
+pub fn live_spawn_chain(depth: u32, racy: bool) -> LiveWorkload {
+    fn level(d: u32, depth: u32, racy: bool) -> impl Fn(&mut ProcBuilder) + Send + Sync {
+        move |p: &mut ProcBuilder| {
+            if d < depth {
+                p.spawn(level(d + 1, depth, racy));
+            }
+            p.step(move |m| {
+                let loc = if racy { 0 } else { d };
+                let v = m.read(loc);
+                m.write(loc, v + 1);
+            });
+        }
+    }
+    let prog = build_proc(level(0, depth, racy));
+    LiveWorkload {
+        name: "live-spawn-chain",
+        prog,
+        locations: depth + 1,
+        expected_racy: if racy && depth > 0 { vec![0] } else { vec![] },
+    }
+}
+
+/// Pure serial chain: `n` steps in sequence, each re-reading and re-writing
+/// the same location — no parallelism at all, the private-write-run showcase
+/// of the shadow memory's owner-hint fast path.
+pub fn live_serial_chain(n: u32) -> LiveWorkload {
+    let prog = build_proc(|p| {
+        p.step(|m| m.write(0, 0));
+        for _ in 0..n {
+            p.step(|m| {
+                let v = m.read(0);
+                m.write(0, v + 1);
+            });
+        }
+    });
+    LiveWorkload {
+        name: "live-serial-chain",
+        prog,
+        locations: 1,
+        expected_racy: vec![],
+    }
+}
+
+/// Blocked matrix multiply `C = A × B` with one spawned task per row of `C` —
+/// the "real-feeling" kernel: shared read-only inputs, private output rows,
+/// a serial init and a serial checksum.  With `seeded_race`, every row task
+/// also bumps a shared statistics cell, planting one intentional race.
+///
+/// Layout: `A` at `[0, n²)`, `B` at `[n², 2n²)`, `C` at `[2n², 3n²)`, the
+/// stats cell at `3n²`.
+pub fn live_matmul(n: u32, seeded_race: bool) -> LiveWorkload {
+    let n2 = n * n;
+    let (a0, b0, c0, stats) = (0, n2, 2 * n2, 3 * n2);
+    let prog = build_proc(|p| {
+        // Serial init: A[i][j] = i + j, B[i][j] = (i == j) — B is identity,
+        // so C must equal A, which the checksum step verifies.
+        p.step(move |m| {
+            for i in 0..n {
+                for j in 0..n {
+                    m.write(a0 + i * n + j, u64::from(i + j));
+                    m.write(b0 + i * n + j, u64::from(i == j));
+                }
+            }
+        });
+        for i in 0..n {
+            p.spawn(move |c| {
+                c.step(move |m| {
+                    for j in 0..n {
+                        let mut acc = 0u64;
+                        for k in 0..n {
+                            acc += m.read(a0 + i * n + k) * m.read(b0 + k * n + j);
+                        }
+                        m.write(c0 + i * n + j, acc);
+                    }
+                    if seeded_race {
+                        let done = m.read(stats);
+                        m.write(stats, done + 1);
+                    }
+                });
+            });
+        }
+        p.sync();
+        p.step(move |m| {
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        m.read(c0 + i * n + j),
+                        u64::from(i + j),
+                        "C = A·I must equal A"
+                    );
+                }
+            }
+            if !seeded_race {
+                m.write(stats, 1);
+            }
+        });
+    });
+    LiveWorkload {
+        name: "live-matmul",
+        prog,
+        locations: 3 * n2 + 1,
+        expected_racy: if seeded_race && n >= 2 { vec![stats] } else { vec![] },
+    }
+}
+
+/// Convert a canonical Cilk [`Procedure`] plus a per-thread access script
+/// into the equivalent live program: every `Work` statement becomes a step
+/// replaying that thread's scripted accesses; spawns and sync blocks map
+/// one-to-one.  Thread numbering follows the serial order of the canonical
+/// lowering, so [`spprog::record_program`] on the result reproduces the
+/// exact tree `CilkProgram::build_tree` builds (same structure, same thread
+/// ids) and the exact script passed in.
+///
+/// # Panics
+/// Panics if the script assigns accesses to an *implicit* thread (a block's
+/// sync thread or an empty procedure's only thread) — those have no step
+/// closure to perform them; generate scripts over step threads only.
+pub fn live_from_cilk(procedure: &Procedure, script: &AccessScript) -> Proc {
+    fn assert_implicit_silent(script: &AccessScript, t: u32) {
+        assert!(
+            script.of(ThreadId(t)).is_empty(),
+            "script assigns accesses to implicit sync thread u{t}, which has \
+             no step closure to perform them"
+        );
+    }
+
+    fn convert(procedure: &Procedure, next: &mut u32, script: &AccessScript) -> Proc {
+        if procedure.sync_blocks.is_empty() {
+            // An empty procedure is a single implicit thread.
+            assert_implicit_silent(script, *next);
+            *next += 1;
+            return build_proc(|_| {});
+        }
+        build_proc(|b| {
+            for block in &procedure.sync_blocks {
+                for stmt in &block.stmts {
+                    match stmt {
+                        CilkStmt::Work(_) => {
+                            let accesses = script.of(ThreadId(*next)).to_vec();
+                            *next += 1;
+                            b.step(move |m| {
+                                for &a in &accesses {
+                                    m.access(a);
+                                }
+                            });
+                        }
+                        CilkStmt::Spawn(child) => {
+                            let child = convert(child, next, script);
+                            b.spawn_proc(child);
+                        }
+                    }
+                }
+                // The implicit empty thread that reaches the block's sync.
+                assert_implicit_silent(script, *next);
+                *next += 1;
+                b.sync();
+            }
+        })
+    }
+
+    let mut next = 0u32;
+    let prog = convert(procedure, &mut next, script);
+    assert_eq!(
+        next as usize,
+        script.num_threads(),
+        "script must cover exactly the threads of the canonical lowering"
+    );
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racedet::{detect_races, Access};
+    use spmaint::{BackendConfig, SpOrder};
+    use spprog::{record_program, run_program, RunConfig};
+    use sptree::cilk::{CilkProgram, SyncBlock};
+    use sptree::generate::{random_cilk_program, CilkGenParams};
+
+    fn check_workload(w: &LiveWorkload) {
+        let serial = run_program(&w.prog, &RunConfig::serial(w.locations));
+        assert_eq!(serial.report.racy_locations(), w.expected_racy, "{} serial", w.name);
+        let live = run_program(&w.prog, &RunConfig::with_workers(3, w.locations));
+        assert_eq!(live.report.racy_locations(), w.expected_racy, "{} live", w.name);
+    }
+
+    #[test]
+    fn ported_generators_report_exactly_their_seeded_races() {
+        for racy in [false, true] {
+            check_workload(&live_fib(6, racy));
+            check_workload(&live_parallel_loop(12, racy));
+            check_workload(&live_spawn_chain(8, racy));
+        }
+        check_workload(&live_serial_chain(32));
+        for seeded in [false, true] {
+            check_workload(&live_matmul(4, seeded));
+        }
+    }
+
+    #[test]
+    fn matmul_computes_the_product_on_every_schedule() {
+        // The checksum step asserts C = A internally; a wrong product would
+        // panic the run.
+        for workers in [1usize, 2, 4] {
+            let w = live_matmul(5, false);
+            let run = run_program(&w.prog, &RunConfig::with_workers(workers, w.locations));
+            assert!(run.report.is_empty());
+            // init + n children (step + sync thread each) + block sync +
+            // checksum step + its sync thread = 2n + 4.
+            assert_eq!(run.threads, 2 * 5 + 4);
+        }
+    }
+
+    #[test]
+    fn live_from_cilk_reproduces_tree_and_script() {
+        for seed in 0..6u64 {
+            let params = CilkGenParams {
+                max_depth: 5,
+                max_blocks: 2,
+                max_stmts: 3,
+                spawn_prob: 0.55,
+                work: 2,
+            };
+            let procedure = random_cilk_program(params, seed);
+            let tree = CilkProgram::new(procedure.clone()).build_tree();
+            // Script over step threads only (work > 0 in the Cilk lowering).
+            let mut script = AccessScript::new(tree.num_threads(), 8);
+            for t in tree.thread_ids().filter(|&t| tree.work_of(t) > 0) {
+                script.push(t, Access::write(t.0 % 8));
+                script.push(t, Access::read((t.0 + 1) % 8));
+            }
+            let live = live_from_cilk(&procedure, &script);
+            let rec = record_program(&live, script.num_locations());
+            assert_eq!(rec.tree.num_threads(), tree.num_threads(), "seed {seed}");
+            assert_eq!(rec.script, script, "seed {seed}: scripts replay exactly");
+            // Structural identity thread by thread: same parents/kinds ⇒ the
+            // serial race reports of live and offline runs must agree.
+            let (live_report, _) = detect_races::<SpOrder>(
+                &rec.tree,
+                &rec.script,
+                BackendConfig::serial(),
+            );
+            let (tree_report, _) =
+                detect_races::<SpOrder>(&tree, &script, BackendConfig::serial());
+            assert_eq!(live_report.races(), tree_report.races(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_block_procedures_convert_blockwise() {
+        // { spawn a(3); sync } { spawn b(5); sync } — the two children are
+        // serialized by the sync, so same-location writes do not race.
+        let a = Procedure::single(SyncBlock::new().work(3));
+        let b = Procedure::single(SyncBlock::new().work(5));
+        let main = Procedure::new()
+            .block(SyncBlock::new().spawn(a))
+            .block(SyncBlock::new().spawn(b));
+        let tree = CilkProgram::new(main.clone()).build_tree();
+        let mut script = AccessScript::new(tree.num_threads(), 1);
+        for t in tree.thread_ids().filter(|&t| tree.work_of(t) > 0) {
+            script.push(t, Access::write(0));
+        }
+        let live = live_from_cilk(&main, &script);
+        let serial = run_program(&live, &RunConfig::serial(1));
+        assert!(serial.report.is_empty(), "synced blocks serialize the writes");
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit sync thread")]
+    fn scripting_an_implicit_thread_is_rejected() {
+        let main = Procedure::single(SyncBlock::new().work(1));
+        let tree = CilkProgram::new(main.clone()).build_tree();
+        let mut script = AccessScript::new(tree.num_threads(), 1);
+        // Thread 1 is the implicit sync thread of the only block.
+        script.push(ThreadId(1), Access::write(0));
+        let _ = live_from_cilk(&main, &script);
+    }
+}

@@ -19,7 +19,11 @@
 //!   with serial and parallel convenience facades,
 //! * [`workloads`] — synthetic fork-join programs and access scripts,
 //! * [`spconform`] — the differential conformance harness cross-checking
-//!   every backend against the LCA oracle on random Cilk programs.
+//!   every backend against the LCA oracle on random Cilk programs,
+//! * [`spprog`] — **live** fork-join programs: a spawn/sync/step closure API
+//!   whose user code executes on the work-stealing scheduler while the SP
+//!   parse tree unfolds incrementally and races are detected online, with no
+//!   materialized tree on the live path.
 //!
 //! ## The unified `SpBackend` trait
 //!
@@ -67,6 +71,23 @@
 //! assert_eq!(r2.racy_locations(), vec![0]);
 //! ```
 //!
+//! ## Live execution
+//!
+//! The same race is caught *while the program runs* — user closures on the
+//! scheduler, the tree unfolding on the fly ([`spprog`]; see
+//! `ARCHITECTURE.md#live-execution-spprog`):
+//!
+//! ```
+//! use sp_maintenance::prelude::*;
+//!
+//! let prog = build_proc(|p| {
+//!     p.spawn(|c| { c.step(|m| m.write(0, 1)); });
+//!     p.spawn(|c| { c.step(|m| m.write(0, 2)); }); // parallel write: a race
+//! });
+//! let live = run_program(&prog, &RunConfig::with_workers(2, 1));
+//! assert_eq!(live.report.racy_locations(), vec![0]);
+//! ```
+//!
 //! ## Quick start
 //!
 //! ```
@@ -100,6 +121,7 @@ pub use racedet;
 pub use spconform;
 pub use sphybrid;
 pub use spmaint;
+pub use spprog;
 pub use sptree;
 pub use workloads;
 
@@ -110,7 +132,13 @@ pub mod prelude {
         detect_races, Access, AccessKind, AccessScript, ParallelRaceDetector, RaceReport,
         SerialRaceDetector,
     };
-    pub use spconform::{check_case, run_sweep, ShapeKind, SweepConfig};
+    pub use spconform::{
+        check_case, check_live_case, run_live_sweep, run_sweep, ShapeKind, SweepConfig,
+    };
+    pub use spprog::{
+        build_proc, record_program, run_program, LiveMaintainer, Proc, ProcBuilder, RunConfig,
+        StepCtx,
+    };
     pub use sphybrid::{run_hybrid, HybridBackend, HybridConfig, NaiveBackend, SpHybrid};
     pub use spmaint::{
         run_serial, run_serial_with_queries, BackendConfig, CurrentSpQuery, EnglishHebrewLabels,

@@ -1,0 +1,146 @@
+//! Tier-1 live-vs-tree conformance: fixed-seed subset of the
+//! `spconform::live` differential sweep, small enough for every
+//! `cargo test` run.
+//!
+//! Each case executes a random Cilk program **both ways** — live through the
+//! `spprog` spawn/sync API (user closures on the work-stealing scheduler, SP
+//! structure unfolding on the fly, races detected online with no
+//! materialized parse tree) and offline through the recorded tree with the
+//! classic backends — and cross-checks the reports: bit-identical serially
+//! (against *every* serial backend), location-sound and planted-complete on
+//! ≥ 2 workers under both live maintainers.  Seeds come from
+//! `spconform::case_seed` so this suite draws from the same stream as the
+//! full sweep.
+
+use racedet::detect_races;
+use spconform::{case_seed, check_live_case, ShapeKind};
+use spmaint::{BackendConfig, EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
+use sphybrid::{HybridBackend, NaiveBackend};
+use spprog::{record_program, run_program, RunConfig};
+use workloads::{live_fib, live_matmul, live_parallel_loop};
+
+/// Base seed of the fixed tier-1 live suite (distinct from both the main
+/// sweep default and the fixed conformance suite).
+const BASE_SEED: u64 = 0x11FE_5EED;
+
+/// The fixed-seed live differential sweep: every Cilk-form shape, 10 cases
+/// each, always on 2 workers (every 5th case on 4).  The acceptance bar of
+/// the live subsystem: a program written against the spawn/sync API, run
+/// with ≥ 2 workers, reports the same races as the tree-driven engine on
+/// the equivalent parse tree.
+#[test]
+fn live_and_tree_runs_report_the_same_races() {
+    const CASES_PER_SHAPE: u64 = 10;
+    let mut cases = 0u64;
+    let mut planted = 0u64;
+    for (shape_idx, shape) in ShapeKind::ALL.iter().copied().enumerate() {
+        if shape.build_procedure(1, 1).is_none() {
+            continue; // RandomSp has no Cilk form, hence no live program
+        }
+        for case in 0..CASES_PER_SHAPE {
+            let seed = case_seed(BASE_SEED, shape_idx as u64, case);
+            let size = 4 + (seed % 20) as u32;
+            let workers = if case % 5 == 0 { 4 } else { 2 };
+            match check_live_case(shape, size, seed, workers) {
+                Ok(stats) => {
+                    cases += 1;
+                    planted += stats.planted;
+                    assert_eq!(stats.parallel_runs, 2, "both live maintainers ran");
+                }
+                Err(d) => panic!(
+                    "{} (shape={}, size={size}, seed={seed:#x}, workers={workers}): {}",
+                    d.backend,
+                    shape.name(),
+                    d.detail
+                ),
+            }
+        }
+    }
+    assert_eq!(cases, 40, "4 Cilk shapes × 10 cases");
+    assert!(planted > 0, "the sweep must exercise real races");
+}
+
+/// Serial live reports must be bit-identical to offline detection through
+/// **every** serial backend (they all agree with each other already; this
+/// pins the live path to the same fixpoint).
+#[test]
+fn serial_live_reports_match_every_offline_backend() {
+    for (workload, locations) in [
+        (live_fib(7, true), 1),
+        (live_parallel_loop(10, true), 12),
+        (live_matmul(3, true), 28),
+    ] {
+        assert_eq!(workload.locations, locations, "{} location budget", workload.name);
+        let live = run_program(&workload.prog, &RunConfig::serial(locations));
+        assert_eq!(
+            live.report.racy_locations(),
+            workload.expected_racy,
+            "{} expected races",
+            workload.name
+        );
+        let rec = record_program(&workload.prog, locations);
+        let serial = BackendConfig::serial();
+        let offline = [
+            ("sp-order", detect_races::<SpOrder>(&rec.tree, &rec.script, serial).0),
+            ("sp-bags", detect_races::<SpBags>(&rec.tree, &rec.script, serial).0),
+            (
+                "english-hebrew",
+                detect_races::<EnglishHebrewLabels>(&rec.tree, &rec.script, serial).0,
+            ),
+            (
+                "offset-span",
+                detect_races::<OffsetSpanLabels>(&rec.tree, &rec.script, serial).0,
+            ),
+            ("naive-locked", detect_races::<NaiveBackend>(&rec.tree, &rec.script, serial).0),
+            ("sp-hybrid", detect_races::<HybridBackend>(&rec.tree, &rec.script, serial).0),
+        ];
+        for (name, report) in &offline {
+            assert_eq!(
+                live.report.races(),
+                report.races(),
+                "{}: live serial vs offline {name}",
+                workload.name
+            );
+        }
+    }
+}
+
+/// Serial `spprog` execution is deterministic: same thread ids, same query
+/// answers, same race report — race for race — across repeated runs.
+#[test]
+fn serial_live_execution_is_deterministic() {
+    let w = live_matmul(4, true);
+    let first = run_program(&w.prog, &RunConfig::serial(w.locations));
+    for _ in 0..3 {
+        let again = run_program(&w.prog, &RunConfig::serial(w.locations));
+        assert_eq!(again.report.races(), first.report.races());
+        assert_eq!(again.threads, first.threads);
+        assert_eq!(again.steals, 0);
+    }
+    assert_eq!(first.report.racy_locations(), w.expected_racy);
+}
+
+/// Multi-worker live runs of the ported workload generators find exactly
+/// their seeded races (and nothing on the race-free variants) — the
+/// SP-hybrid trace accounting invariant holding throughout.
+#[test]
+fn workload_generators_hold_their_contract_multiworker() {
+    for racy in [false, true] {
+        for w in [
+            live_fib(7, racy),
+            live_parallel_loop(8, racy),
+            live_matmul(3, racy),
+        ] {
+            for workers in [2usize, 3] {
+                let run = run_program(&w.prog, &RunConfig::with_workers(workers, w.locations));
+                assert_eq!(
+                    run.report.racy_locations(),
+                    w.expected_racy,
+                    "{} workers={workers} racy={racy}",
+                    w.name
+                );
+                assert_eq!(run.traces as u64, 4 * run.steals + 1, "{} trace accounting", w.name);
+            }
+        }
+    }
+}
