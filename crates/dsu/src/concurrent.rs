@@ -1,4 +1,4 @@
-//! Union-find with atomic parent pointers: one writer, many readers.
+//! Union-find with atomic parent pointers: per-set writers, many readers.
 //!
 //! The SP-hybrid local tier (paper §5) needs a disjoint-set structure in which
 //!
@@ -12,45 +12,177 @@
 //! classical structure "does not work out of the box when multiple FIND-TRACE
 //! operations execute concurrently" because compression mutates the forest),
 //! so `find` is a read-only O(log n) walk over `AtomicU32` parent pointers and
-//! is safe to run concurrently with the single writer.
+//! is safe to run concurrently with the writers.
 //!
-//! Capacity is fixed at construction: the SP-hybrid driver knows the total
-//! number of threads of the program before the parallel walk starts, so the
-//! slab can be preallocated and no resizing (which would invalidate concurrent
-//! readers) is ever needed.
+//! Elements live in a **growable chunked slab** (see
+//! `ARCHITECTURE.md#growable-epoch-published-substrates`): chunk *k* holds
+//! `base << k` elements at stable indices, every new chunk is pre-initialized
+//! to singletons (`parent[i] = i`) and *published* with a release store of its
+//! pointer, and an index beyond the published capacity simply reads as a
+//! singleton root with annotation 0 — so the structure needs no size declared
+//! up front and readers never take a lock.  Growth itself (rare: amortized
+//! O(log total) chunk allocations ever) is serialized by a small mutex that
+//! the read path never touches.
 //!
 //! Each element also carries a 64-bit atomic *annotation*; the local tier
 //! stores bag metadata (bag kind and owning trace) in the annotation of the
 //! set representative, which is how `FIND-TRACE` returns a trace in O(log n).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// Fixed-capacity union-find with atomic parents (single writer, many readers).
+/// Upper bound on the number of chunks: with the smallest base chunk (2
+/// elements) the cumulative capacity covers the `u32` index space after 31
+/// doublings.
+const MAX_CHUNKS: usize = 32;
+
+/// Round an initial-capacity hint to a base chunk size, honoring the same
+/// `SP_OM_CHUNK` override the order-maintenance slab uses, so one CI knob
+/// shrinks every substrate at once.
+fn base_chunk_size(hint: usize) -> usize {
+    let hint = match std::env::var("SP_OM_CHUNK") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => hint,
+        },
+        Err(_) => hint,
+    };
+    hint.next_power_of_two().clamp(2, 1 << 24)
+}
+
+/// One slab element; all fields readable without any lock.
+struct Element {
+    parent: AtomicU32,
+    rank: AtomicU32,
+    annotation: AtomicU64,
+}
+
+/// Growable union-find with atomic parents (per-set writers, many readers).
+///
+/// Indices are stable forever: growth appends chunks, it never moves an
+/// element.  Reads of indices beyond the published capacity return singleton
+/// defaults, matching the eager `parent[i] = i` initialization the fixed slab
+/// used to provide.
 pub struct ConcurrentUnionFind {
-    parent: Box<[AtomicU32]>,
-    rank: Box<[AtomicU32]>,
-    annotation: Box<[AtomicU64]>,
+    chunks: [AtomicPtr<Element>; MAX_CHUNKS],
+    base: usize,
+    base_log2: u32,
+    /// Published element capacity; readers snapshot this with an acquire load.
+    published: AtomicU32,
+    /// Serializes chunk publication only; holds the published chunk count.
+    grow: Mutex<usize>,
+    grow_events: AtomicU64,
     len: AtomicU32,
 }
 
+// Chunk pointers are published once (null → non-null) and freed only in
+// `Drop`, so sharing the raw pointers across threads is safe.
+unsafe impl Send for ConcurrentUnionFind {}
+unsafe impl Sync for ConcurrentUnionFind {}
+
 impl ConcurrentUnionFind {
-    /// Create a structure able to hold `capacity` elements.
+    /// Create a structure with an *initial-capacity hint* of `capacity`
+    /// elements (rounded up to a power of two, overridable via
+    /// `SP_OM_CHUNK`).  The structure grows on demand; writes beyond the
+    /// current slab publish new chunks instead of panicking.
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity < u32::MAX as usize, "capacity too large");
-        ConcurrentUnionFind {
-            parent: (0..capacity).map(|i| AtomicU32::new(i as u32)).collect(),
-            rank: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
-            annotation: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+        let base = base_chunk_size(capacity.max(1));
+        let uf = ConcurrentUnionFind {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            base,
+            base_log2: base.trailing_zeros(),
+            published: AtomicU32::new(0),
+            grow: Mutex::new(0),
+            grow_events: AtomicU64::new(0),
             len: AtomicU32::new(0),
+        };
+        uf.ensure(0);
+        uf
+    }
+
+    #[inline]
+    fn chunk_len(&self, k: usize) -> usize {
+        self.base << k
+    }
+
+    /// Total capacity once chunks `0..=k` exist: `base · (2^(k+1) − 1)`.
+    #[inline]
+    fn cumulative(&self, k: usize) -> usize {
+        (self.base << (k + 1)) - self.base
+    }
+
+    /// Decompose a stable index into (chunk, offset).
+    #[inline]
+    fn locate(&self, i: u32) -> (usize, usize) {
+        let q = (i as usize >> self.base_log2) + 1;
+        let k = (usize::BITS - 1 - q.leading_zeros()) as usize;
+        let offset = i as usize - (self.cumulative(k) - self.chunk_len(k));
+        (k, offset)
+    }
+
+    /// Lock-free element access: `None` when `x` is beyond the published
+    /// capacity (an implicit singleton).
+    #[inline]
+    fn slot(&self, x: u32) -> Option<&Element> {
+        if x >= self.published.load(Ordering::Acquire) {
+            return None;
+        }
+        let (k, offset) = self.locate(x);
+        // The acquire load of `published` above synchronizes with the release
+        // publication sequence (chunk pointer first, then the new capacity),
+        // so the pointer is non-null here.
+        let ptr = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "element {x} inside published range has no chunk");
+        Some(unsafe { &*ptr.add(offset) })
+    }
+
+    /// Make index `x` addressable, publishing chunks as needed.  Called from
+    /// every write path; multi-writer safe (growth serialized by a mutex the
+    /// read path never touches).
+    fn ensure(&self, x: u32) {
+        if x < self.published.load(Ordering::Acquire) {
+            return;
+        }
+        let mut chunks = self.grow.lock().unwrap();
+        while (x as usize) >= if *chunks == 0 { 0 } else { self.cumulative(*chunks - 1) } {
+            let k = *chunks;
+            assert!(k < MAX_CHUNKS, "ConcurrentUnionFind exceeded u32 index space");
+            let start = self.cumulative(k) - self.chunk_len(k);
+            let boxed: Box<[Element]> = (0..self.chunk_len(k))
+                .map(|i| Element {
+                    parent: AtomicU32::new((start + i) as u32),
+                    rank: AtomicU32::new(0),
+                    annotation: AtomicU64::new(0),
+                })
+                .collect();
+            let ptr = Box::into_raw(boxed) as *mut Element;
+            self.chunks[k].store(ptr, Ordering::Release);
+            self.published
+                .store(self.cumulative(k) as u32, Ordering::Release);
+            *chunks = k + 1;
+            if k > 0 {
+                self.grow_events.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    /// Maximum number of elements.
+    /// Currently published element capacity (grows on demand).
     pub fn capacity(&self) -> usize {
-        self.parent.len()
+        self.published.load(Ordering::Acquire) as usize
     }
 
-    /// Number of elements created so far.
+    /// Number of slab chunks currently published (1 until the first growth).
+    pub fn chunk_count(&self) -> usize {
+        *self.grow.lock().unwrap()
+    }
+
+    /// Number of chunks appended after construction — how often the slab
+    /// outgrew its initial hint.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events.load(Ordering::Relaxed)
+    }
+
+    /// Number of elements created via [`make_set`](Self::make_set) so far.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire) as usize
     }
@@ -60,27 +192,33 @@ impl ConcurrentUnionFind {
         self.len() == 0
     }
 
-    /// Create the next singleton set.  Only the owning writer may call this.
-    ///
-    /// # Panics
-    /// Panics if capacity is exhausted.
+    /// Create the next singleton set.  Only one allocating writer may call
+    /// this at a time; the slab grows on demand and never panics on size.
     pub fn make_set(&self) -> u32 {
         let id = self.len.load(Ordering::Relaxed);
-        assert!(
-            (id as usize) < self.parent.len(),
-            "ConcurrentUnionFind capacity ({}) exhausted",
-            self.parent.len()
-        );
-        self.parent[id as usize].store(id, Ordering::Release);
-        self.rank[id as usize].store(0, Ordering::Release);
+        self.ensure(id);
+        let e = self.slot(id).expect("just ensured");
+        e.parent.store(id, Ordering::Release);
+        e.rank.store(0, Ordering::Release);
         self.len.store(id + 1, Ordering::Release);
         id
     }
 
-    /// Find the representative of `x`.  Safe to call from any thread.
+    /// Parent pointer of `x`; indices beyond the published slab are implicit
+    /// singletons (their parent is themselves).
+    #[inline]
+    fn parent_of(&self, x: u32) -> u32 {
+        match self.slot(x) {
+            Some(e) => e.parent.load(Ordering::Acquire),
+            None => x,
+        }
+    }
+
+    /// Find the representative of `x`.  Safe to call from any thread; never
+    /// takes a lock.
     pub fn find(&self, mut x: u32) -> u32 {
         loop {
-            let p = self.parent[x as usize].load(Ordering::Acquire);
+            let p = self.parent_of(x);
             if p == x {
                 return x;
             }
@@ -89,31 +227,49 @@ impl ConcurrentUnionFind {
     }
 
     /// Union the sets of `a` and `b` (union by rank, no compression) and
-    /// return the new representative.  Only the owning writer may call this.
+    /// return the new representative.  Writers of disjoint sets may run
+    /// concurrently; the sets being united must be owned by the caller.
     pub fn union(&self, a: u32, b: u32) -> u32 {
+        self.ensure(a.max(b));
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
             return ra;
         }
-        let rank_a = self.rank[ra as usize].load(Ordering::Relaxed);
-        let rank_b = self.rank[rb as usize].load(Ordering::Relaxed);
+        let ea = self.slot(ra).expect("root published by ensure");
+        let eb = self.slot(rb).expect("root published by ensure");
+        let rank_a = ea.rank.load(Ordering::Relaxed);
+        let rank_b = eb.rank.load(Ordering::Relaxed);
         let (hi, lo) = if rank_a >= rank_b { (ra, rb) } else { (rb, ra) };
-        self.parent[lo as usize].store(hi, Ordering::Release);
+        self.slot(lo)
+            .expect("published")
+            .parent
+            .store(hi, Ordering::Release);
         if rank_a == rank_b {
-            self.rank[hi as usize].store(rank_a + 1, Ordering::Release);
+            self.slot(hi)
+                .expect("published")
+                .rank
+                .store(rank_a + 1, Ordering::Release);
         }
         hi
     }
 
     /// Read the annotation stored on element `x` (usually a representative).
+    /// Unpublished indices read as 0.
     pub fn annotation(&self, x: u32) -> u64 {
-        self.annotation[x as usize].load(Ordering::Acquire)
+        match self.slot(x) {
+            Some(e) => e.annotation.load(Ordering::Acquire),
+            None => 0,
+        }
     }
 
-    /// Store an annotation on element `x`.
+    /// Store an annotation on element `x`, growing the slab if needed.
     pub fn set_annotation(&self, x: u32, value: u64) {
-        self.annotation[x as usize].store(value, Ordering::Release);
+        self.ensure(x);
+        self.slot(x)
+            .expect("published by ensure")
+            .annotation
+            .store(value, Ordering::Release);
     }
 
     /// Find the representative of `x` and return its annotation.
@@ -127,10 +283,23 @@ impl ConcurrentUnionFind {
 
     /// Approximate heap bytes used.
     pub fn space_bytes(&self) -> usize {
-        self.parent.len() * std::mem::size_of::<AtomicU32>()
-            + self.rank.len() * std::mem::size_of::<AtomicU32>()
-            + self.annotation.len() * std::mem::size_of::<AtomicU64>()
-            + std::mem::size_of::<Self>()
+        self.capacity() * std::mem::size_of::<Element>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl Drop for ConcurrentUnionFind {
+    fn drop(&mut self) {
+        for (k, chunk) in self.chunks.iter().enumerate() {
+            let ptr = chunk.load(Ordering::Relaxed);
+            if !ptr.is_null() {
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr,
+                        self.chunk_len(k),
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -173,8 +342,27 @@ mod tests {
     }
 
     #[test]
+    fn unpublished_indices_read_as_singletons() {
+        let uf = ConcurrentUnionFind::with_capacity(2);
+        // Far beyond the initial chunk: reads must behave exactly as the old
+        // eagerly initialized slab (parent = self, annotation = 0) without
+        // growing anything.
+        assert_eq!(uf.find(100_000), 100_000);
+        assert_eq!(uf.annotation(100_000), 0);
+        assert_eq!(uf.find_annotation(100_000), (100_000, 0));
+        assert_eq!(uf.chunk_count(), 1);
+        // A write to the same index grows the slab and behaves normally.
+        uf.set_annotation(100_000, 7);
+        assert_eq!(uf.find_annotation(100_000), (100_000, 7));
+        assert!(uf.capacity() > 100_000);
+        assert!(uf.grow_events() > 0);
+    }
+
+    #[test]
     fn concurrent_finds_during_unions_terminate_and_agree_eventually() {
-        let uf = Arc::new(ConcurrentUnionFind::with_capacity(10_000));
+        // Tiny initial hint: the writer's unions publish many chunks while
+        // the readers walk parents lock-free.
+        let uf = Arc::new(ConcurrentUnionFind::with_capacity(4));
         for _ in 0..10_000u32 {
             uf.make_set();
         }
@@ -209,6 +397,7 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(total > 0);
+        assert!(uf.grow_events() > 0, "10k elements from base 4 must have grown");
         // After the writer is done every element resolves to the same root.
         let r = uf.find(0);
         for i in 0..10_000u32 {
@@ -216,13 +405,56 @@ mod tests {
         }
     }
 
+    /// Regression for the old fixed-slab behavior: `make_set` past the
+    /// initial capacity used to panic; now the slab grows and find/union
+    /// results are unaffected by chunk boundaries.
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn exceeding_capacity_panics() {
+    fn growth_past_initial_chunk_preserves_find_results() {
         let uf = ConcurrentUnionFind::with_capacity(2);
-        uf.make_set();
-        uf.make_set();
-        uf.make_set();
+        for i in 0..1000u32 {
+            assert_eq!(uf.make_set(), i);
+        }
+        assert!(uf.grow_events() > 0);
+        assert!(uf.capacity() >= 1000);
+        // Unions spanning chunk boundaries behave exactly as before.
+        for i in 0..999u32 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..1000u32 {
+            assert_eq!(uf.find(i), r);
+        }
+    }
+
+    /// Concurrent writers growing disjoint regions race only on the growth
+    /// mutex; all unions and annotations land correctly.
+    #[test]
+    fn concurrent_growth_from_multiple_writers_is_safe() {
+        let uf = Arc::new(ConcurrentUnionFind::with_capacity(2));
+        let mut writers = Vec::new();
+        for t in 0..4u32 {
+            let uf = Arc::clone(&uf);
+            writers.push(std::thread::spawn(move || {
+                // Each writer owns a disjoint id range and chains it.
+                let lo = t * 5_000;
+                for i in lo..lo + 4_999 {
+                    uf.union(i, i + 1);
+                }
+                uf.set_annotation(uf.find(lo), (t + 1) as u64);
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        for t in 0..4u32 {
+            let lo = t * 5_000;
+            let root = uf.find(lo);
+            for i in lo..lo + 5_000 {
+                assert_eq!(uf.find(i), root, "writer {t} chain intact");
+            }
+            assert_eq!(uf.find_annotation(lo).1, (t + 1) as u64);
+        }
+        assert!(uf.grow_events() > 0);
     }
 
     #[test]
@@ -246,7 +478,7 @@ mod tests {
             let mut hops = 0;
             let mut x = i;
             loop {
-                let p = uf.parent[x as usize].load(Ordering::Acquire);
+                let p = uf.parent_of(x);
                 if p == x {
                     break;
                 }

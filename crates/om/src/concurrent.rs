@@ -19,11 +19,18 @@
 //! * a query reads `(label, timestamp)` of both items, then re-reads them, and
 //!   retries if anything changed in between.
 //!
-//! Items live in a fixed-capacity slab allocated up front so that queries can
-//! address them without taking any lock; the SP-hybrid algorithm knows a safe
-//! upper bound on the number of traces (4·steals + 1 ≤ 4·|P-nodes| + 1).
+//! Items live in a **growable chunked slab** so the list never needs a size
+//! declared up front (see `ARCHITECTURE.md#growable-epoch-published-substrates`):
+//! chunk *k* holds `base << k` slots, so a `u32` handle decomposes into a
+//! chunk id and an offset with two shifts and a subtraction, and handles stay
+//! stable forever — no reallocation ever moves a slot.  Writers (already
+//! serialized by the insertion lock) allocate a fresh chunk when the slab is
+//! full and *publish* it with a single release store of the chunk pointer;
+//! readers traverse with acquire loads and never take a lock, exactly as
+//! before.  The initial chunk size is only a capacity hint (overridable with
+//! the `SP_OM_CHUNK` env knob so CI can force growth on tiny programs).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -43,10 +50,146 @@ const TAG_BITS: u32 = 62;
 const TAG_LIMIT: u64 = 1 << TAG_BITS;
 const NIL: u32 = u32::MAX;
 
+/// Upper bound on the number of chunks: with the smallest base chunk (2
+/// slots) the cumulative capacity reaches the `u32` handle space after 31
+/// doublings, so 32 pointers always suffice.
+const MAX_CHUNKS: usize = 32;
+
+/// Round an initial-capacity hint to a usable base chunk size, honoring the
+/// `SP_OM_CHUNK` override.  Shared by the OM list and the concurrent
+/// union-find so one knob shrinks every substrate at once.
+pub(crate) fn base_chunk_size(hint: usize) -> usize {
+    let hint = match std::env::var("SP_OM_CHUNK") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => hint,
+        },
+        Err(_) => hint,
+    };
+    hint.next_power_of_two().clamp(2, 1 << 24)
+}
+
 /// Per-item atomics readable without the list lock.
 struct Slot {
     label: AtomicU64,
     stamp: AtomicU64,
+}
+
+/// Growable slab of [`Slot`]s with stable indices: chunk `k` holds
+/// `base << k` slots, cumulatively `base · (2^(k+1) − 1)`.  Readers address
+/// a slot from a bare index with acquire loads only; the writer (serialized
+/// externally) appends chunks and publishes each with a release store.
+struct ChunkedSlots {
+    chunks: [AtomicPtr<Slot>; MAX_CHUNKS],
+    base: usize,
+    base_log2: u32,
+    /// Chunks allocated beyond the initial one — growth events, for tests
+    /// and benchmarks.
+    grow_events: AtomicU64,
+}
+
+// Chunk pointers are only ever null→non-null published once and freed in
+// `Drop` (which takes `&mut self`), so sharing them across threads is safe.
+unsafe impl Send for ChunkedSlots {}
+unsafe impl Sync for ChunkedSlots {}
+
+impl ChunkedSlots {
+    fn new(base: usize) -> Self {
+        debug_assert!(base.is_power_of_two() && base >= 2);
+        let this = ChunkedSlots {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            base,
+            base_log2: base.trailing_zeros(),
+            grow_events: AtomicU64::new(0),
+        };
+        this.publish_chunk(0);
+        this
+    }
+
+    #[inline]
+    fn chunk_len(&self, k: usize) -> usize {
+        self.base << k
+    }
+
+    /// Total capacity once chunks `0..=k` exist: `base · (2^(k+1) − 1)`.
+    #[inline]
+    fn cumulative(&self, k: usize) -> usize {
+        (self.base << (k + 1)) - self.base
+    }
+
+    /// Decompose a stable index into (chunk, offset).
+    #[inline]
+    fn locate(&self, i: u32) -> (usize, usize) {
+        let q = (i as usize >> self.base_log2) + 1;
+        let k = (usize::BITS - 1 - q.leading_zeros()) as usize;
+        let offset = i as usize - (self.cumulative(k) - self.chunk_len(k));
+        (k, offset)
+    }
+
+    /// Allocate and publish chunk `k` (writer side, externally serialized).
+    fn publish_chunk(&self, k: usize) {
+        assert!(k < MAX_CHUNKS, "order-maintenance slab exceeded u32 index space");
+        let boxed: Box<[Slot]> = (0..self.chunk_len(k))
+            .map(|_| Slot {
+                label: AtomicU64::new(0),
+                stamp: AtomicU64::new(0),
+            })
+            .collect();
+        let ptr = Box::into_raw(boxed) as *mut Slot;
+        self.chunks[k].store(ptr, Ordering::Release);
+        if k > 0 {
+            self.grow_events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Ensure index `i` is addressable, growing if needed (writer side).
+    fn ensure(&self, i: u32) {
+        let (k, _) = self.locate(i);
+        if self.chunks[k].load(Ordering::Relaxed).is_null() {
+            self.publish_chunk(k);
+        }
+    }
+
+    /// Lock-free slot access: an acquire load of the chunk pointer plus two
+    /// shifts.  The chunk publication (release) happens-before any context
+    /// that hands the index to a reader, so the pointer is never null for a
+    /// live handle.
+    #[inline]
+    fn slot(&self, i: u32) -> &Slot {
+        let (k, offset) = self.locate(i);
+        let ptr = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "slot {i} read before publication");
+        unsafe { &*ptr.add(offset) }
+    }
+
+    /// Number of chunks currently published.
+    fn chunk_count(&self) -> usize {
+        self.chunks
+            .iter()
+            .take_while(|c| !c.load(Ordering::Relaxed).is_null())
+            .count()
+    }
+
+    /// Currently allocated slot capacity.
+    fn capacity(&self) -> usize {
+        self.cumulative(self.chunk_count() - 1)
+    }
+}
+
+impl Drop for ChunkedSlots {
+    fn drop(&mut self) {
+        for (k, chunk) in self.chunks.iter().enumerate() {
+            let ptr = chunk.load(Ordering::Relaxed);
+            if !ptr.is_null() {
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        ptr,
+                        self.chunk_len(k),
+                    )));
+                }
+            }
+        }
+    }
 }
 
 /// Linked-list topology; only touched while holding the insertion lock.
@@ -59,40 +202,36 @@ struct Inner {
     rebalances: u64,
 }
 
-/// Concurrent order-maintenance list with lock-free queries.
+/// Concurrent order-maintenance list with lock-free queries and on-demand
+/// growth: inserting past the current slab appends a chunk instead of
+/// panicking, so callers no longer need a trace budget.
 pub struct ConcurrentOmList {
-    slots: Box<[Slot]>,
+    slots: ChunkedSlots,
     inner: Mutex<Inner>,
     query_retries: AtomicU64,
 }
 
 impl ConcurrentOmList {
-    /// Create a list able to hold at most `capacity` items, containing one
-    /// base item (whose handle is returned).
+    /// Create a list containing one base item (whose handle is returned).
     ///
-    /// # Panics
-    /// Panics if `capacity` is 0, or later if more than `capacity` items are
-    /// inserted.
+    /// `capacity` is only an *initial-capacity hint* (rounded up to a power
+    /// of two, overridable via `SP_OM_CHUNK`): the list grows by appending
+    /// chunks whenever an insertion needs more room, and never panics on
+    /// size.
     pub fn with_capacity(capacity: usize) -> (Self, ConcurrentOmNode) {
-        assert!(capacity >= 1, "capacity must be at least 1");
-        assert!(capacity < NIL as usize, "capacity too large");
-        let slots: Box<[Slot]> = (0..capacity)
-            .map(|_| Slot {
-                label: AtomicU64::new(0),
-                stamp: AtomicU64::new(0),
-            })
-            .collect();
+        let base = base_chunk_size(capacity.max(1));
+        let slots = ChunkedSlots::new(base);
         let mut inner = Inner {
-            next: vec![NIL; capacity],
-            prev: vec![NIL; capacity],
+            next: Vec::with_capacity(base),
+            prev: Vec::with_capacity(base),
             head: 0,
             len: 1,
             relabel_items: 0,
             rebalances: 0,
         };
-        inner.next[0] = NIL;
-        inner.prev[0] = NIL;
-        slots[0].label.store(TAG_LIMIT / 2, Ordering::Release);
+        inner.next.push(NIL);
+        inner.prev.push(NIL);
+        slots.slot(0).label.store(TAG_LIMIT / 2, Ordering::Release);
         (
             ConcurrentOmList {
                 slots,
@@ -103,9 +242,20 @@ impl ConcurrentOmList {
         )
     }
 
-    /// Maximum number of items the list can hold.
+    /// Currently allocated slot capacity (grows on demand).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.slots.capacity()
+    }
+
+    /// Number of slab chunks currently published (1 until the first growth).
+    pub fn chunk_count(&self) -> usize {
+        self.slots.chunk_count()
+    }
+
+    /// Number of chunks appended after construction — how often the list
+    /// outgrew its slab.
+    pub fn grow_events(&self) -> u64 {
+        self.slots.grow_events.load(Ordering::Relaxed)
     }
 
     /// Current number of items.
@@ -132,8 +282,9 @@ impl ConcurrentOmList {
 
     /// Approximate heap bytes used.
     pub fn space_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<Slot>()
-            + self.slots.len() * 2 * std::mem::size_of::<u32>()
+        let inner = self.inner.lock();
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+            + (inner.next.capacity() + inner.prev.capacity()) * std::mem::size_of::<u32>()
             + std::mem::size_of::<Self>()
     }
 
@@ -154,10 +305,11 @@ impl ConcurrentOmList {
         // between 0 and the head's label, rebalancing if the head is at 0.
         loop {
             let head = inner.head;
-            let head_label = self.slots[head as usize].label.load(Ordering::Acquire);
+            let head_label = self.slots.slot(head).label.load(Ordering::Acquire);
             if head_label >= 2 {
                 let id = self.alloc_slot(&mut inner);
-                self.slots[id as usize]
+                self.slots
+                    .slot(id)
                     .label
                     .store(head_label / 2, Ordering::Release);
                 inner.next[id as usize] = head;
@@ -222,8 +374,8 @@ impl ConcurrentOmList {
         if a == b {
             return false;
         }
-        let sa = &self.slots[a.0 as usize];
-        let sb = &self.slots[b.0 as usize];
+        let sa = self.slots.slot(a.0);
+        let sb = self.slots.slot(b.0);
         loop {
             let ts_a1 = sa.stamp.load(Ordering::Acquire);
             let la1 = sa.label.load(Ordering::Acquire);
@@ -243,13 +395,15 @@ impl ConcurrentOmList {
         }
     }
 
+    /// One shared growth path for every insertion: publish a fresh chunk if
+    /// the slab is full, then hand out the next stable index.  Replaces the
+    /// old capacity `assert!`.
     fn alloc_slot(&self, inner: &mut Inner) -> u32 {
-        assert!(
-            inner.len < self.slots.len(),
-            "ConcurrentOmList capacity ({}) exhausted",
-            self.slots.len()
-        );
+        assert!(inner.len < NIL as usize, "ConcurrentOmList exceeded u32 index space");
         let id = inner.len as u32;
+        self.slots.ensure(id);
+        inner.next.push(NIL);
+        inner.prev.push(NIL);
         inner.len += 1;
         id
     }
@@ -257,15 +411,16 @@ impl ConcurrentOmList {
     fn locked_insert_after(&self, inner: &mut Inner, x: u32) -> ConcurrentOmNode {
         loop {
             let next = inner.next[x as usize];
-            let lx = self.slots[x as usize].label.load(Ordering::Acquire);
+            let lx = self.slots.slot(x).label.load(Ordering::Acquire);
             let ln = if next == NIL {
                 TAG_LIMIT
             } else {
-                self.slots[next as usize].label.load(Ordering::Acquire)
+                self.slots.slot(next).label.load(Ordering::Acquire)
             };
             if ln - lx >= 2 {
                 let id = self.alloc_slot(inner);
-                self.slots[id as usize]
+                self.slots
+                    .slot(id)
                     .label
                     .store(lx + (ln - lx) / 2, Ordering::Release);
                 inner.next[id as usize] = next;
@@ -285,7 +440,7 @@ impl ConcurrentOmList {
     /// before each relabeling pass so in-flight queries can detect interference.
     fn rebalance_around(&self, inner: &mut Inner, x: u32) {
         inner.rebalances += 1;
-        let x_tag = self.slots[x as usize].label.load(Ordering::Acquire);
+        let x_tag = self.slots.slot(x).label.load(Ordering::Acquire);
 
         // Pass 1: determine the range of items to rebalance.
         let mut height: u32 = 1;
@@ -301,8 +456,7 @@ impl ConcurrentOmList {
             let mut first = x;
             loop {
                 let p = inner.prev[first as usize];
-                if p != NIL && self.slots[p as usize].label.load(Ordering::Acquire) >= range_start
-                {
+                if p != NIL && self.slots.slot(p).label.load(Ordering::Acquire) >= range_start {
                     first = p;
                 } else {
                     break;
@@ -310,9 +464,7 @@ impl ConcurrentOmList {
             }
             let mut count: u64 = 0;
             let mut cur = first;
-            while cur != NIL
-                && self.slots[cur as usize].label.load(Ordering::Acquire) < range_end
-            {
+            while cur != NIL && self.slots.slot(cur).label.load(Ordering::Acquire) < range_end {
                 count += 1;
                 cur = inner.next[cur as usize];
             }
@@ -331,7 +483,7 @@ impl ConcurrentOmList {
         // Pass 2: bump timestamps to announce the rebalance.
         let mut cur = first;
         for _ in 0..count {
-            self.slots[cur as usize].stamp.fetch_add(1, Ordering::Release);
+            self.slots.slot(cur).stamp.fetch_add(1, Ordering::Release);
             cur = inner.next[cur as usize];
         }
 
@@ -340,7 +492,8 @@ impl ConcurrentOmList {
         // are distinct and >= range_start.
         let mut cur = first;
         for i in 0..count {
-            self.slots[cur as usize]
+            self.slots
+                .slot(cur)
                 .label
                 .store(range_start + i, Ordering::Release);
             cur = inner.next[cur as usize];
@@ -349,7 +502,7 @@ impl ConcurrentOmList {
         // Pass 4: bump timestamps again to mark the second phase.
         let mut cur = first;
         for _ in 0..count {
-            self.slots[cur as usize].stamp.fetch_add(1, Ordering::Release);
+            self.slots.slot(cur).stamp.fetch_add(1, Ordering::Release);
             cur = inner.next[cur as usize];
         }
 
@@ -364,7 +517,8 @@ impl ConcurrentOmList {
         }
         for (i, &item) in run.iter().enumerate().rev() {
             let label = range_start + (i as u64 + 1) * stride;
-            self.slots[item as usize]
+            self.slots
+                .slot(item)
                 .label
                 .store(label.min(range_start + range_size - 1), Ordering::Release);
         }
@@ -392,7 +546,7 @@ impl ConcurrentOmList {
         let mut last = None;
         while cur != NIL {
             assert_eq!(inner.prev[cur as usize], prev);
-            let label = self.slots[cur as usize].label.load(Ordering::Acquire);
+            let label = self.slots.slot(cur).label.load(Ordering::Acquire);
             if let Some(l) = last {
                 assert!(l < label, "labels not strictly increasing");
             }
@@ -410,6 +564,19 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
+
+    #[test]
+    fn chunk_addressing_is_stable() {
+        let slots = ChunkedSlots::new(4);
+        // With base 4: chunk 0 = [0,4), chunk 1 = [4,12), chunk 2 = [12,28).
+        assert_eq!(slots.locate(0), (0, 0));
+        assert_eq!(slots.locate(3), (0, 3));
+        assert_eq!(slots.locate(4), (1, 0));
+        assert_eq!(slots.locate(11), (1, 7));
+        assert_eq!(slots.locate(12), (2, 0));
+        assert_eq!(slots.locate(27), (2, 15));
+        assert_eq!(slots.locate(28), (3, 0));
+    }
 
     #[test]
     fn serial_inserts_and_queries() {
@@ -475,9 +642,11 @@ mod tests {
 
     #[test]
     fn concurrent_queries_during_inserts_are_consistent() {
-        // One writer inserting (and hence rebalancing), several readers
-        // continuously checking a fixed known-ordered chain of items.
-        let (list, base) = ConcurrentOmList::with_capacity(1 << 16);
+        // One writer inserting (and hence rebalancing and *growing*), several
+        // readers continuously checking a fixed known-ordered chain of items.
+        // The tiny initial chunk forces many chunk publications while the
+        // readers are live.
+        let (list, base) = ConcurrentOmList::with_capacity(4);
         let list = Arc::new(list);
         let mut chain = vec![base];
         {
@@ -511,22 +680,56 @@ mod tests {
         }
 
         // Writer: hammer inserts right after base to force many rebalances of
-        // the region containing the chain.
+        // the region containing the chain (and many chunk growths).
         for _ in 0..20_000 {
             list.insert_after(base);
         }
         stop.store(true, Ordering::Relaxed);
         let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(total > 0);
+        assert!(list.grow_events() > 0, "tiny initial chunk must have grown");
         list.check_invariants();
     }
 
+    /// Regression for the old fixed-slab behavior: inserting past the initial
+    /// capacity used to panic; now it appends chunks and order survives every
+    /// boundary crossing.
     #[test]
-    #[should_panic(expected = "capacity")]
-    fn exceeding_capacity_panics() {
+    fn growth_past_initial_chunk_preserves_order() {
         let (list, base) = ConcurrentOmList::with_capacity(4);
-        for _ in 0..10 {
-            list.insert_after(base);
+        let mut prev = base;
+        let mut all = vec![base];
+        for _ in 0..3000 {
+            prev = list.insert_after(prev);
+            all.push(prev);
+        }
+        assert!(list.chunk_count() >= 8, "3000 inserts from base 4 span many chunks");
+        assert!(list.grow_events() as usize == list.chunk_count() - 1);
+        assert!(list.capacity() >= all.len());
+        list.check_invariants();
+        for w in all.windows(2) {
+            assert!(list.precedes(w[0], w[1]));
+            assert!(!list.precedes(w[1], w[0]));
+        }
+        // Queries across distant chunks agree with the insertion order.
+        assert!(list.precedes(all[0], all[2999]));
+        assert!(!list.precedes(all[2999], all[0]));
+    }
+
+    /// `insert_before` at the head (the rebalance-at-zero path) also grows.
+    #[test]
+    fn growth_through_head_inserts_preserves_order() {
+        let (list, base) = ConcurrentOmList::with_capacity(2);
+        let mut earliest = base;
+        let mut fronts = vec![base];
+        for _ in 0..500 {
+            earliest = list.insert_before(earliest);
+            fronts.push(earliest);
+        }
+        assert!(list.grow_events() > 0);
+        list.check_invariants();
+        for w in fronts.windows(2) {
+            assert!(list.precedes(w[1], w[0]));
         }
     }
 }

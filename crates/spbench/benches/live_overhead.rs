@@ -23,7 +23,7 @@ use spmaint::api::BackendConfig;
 use spmaint::SpOrder;
 use sphybrid::HybridBackend;
 use spprog::{record_program, run_program, run_uninstrumented, RunConfig};
-use workloads::{live_fib, live_matmul, LiveWorkload};
+use workloads::{live_fib, live_growth, live_matmul, LiveWorkload};
 
 fn workloads() -> Vec<LiveWorkload> {
     let (fib_depth, matmul_n) = if smoke_mode() { (6, 3) } else { (14, 12) };
@@ -103,12 +103,69 @@ fn live_overhead(c: &mut Criterion) {
     }
 }
 
+/// Substrate growth cost: the same spawn-heavy balanced recursion
+/// ([`live_growth`]) run with *tiny* capacity hints — forcing the OM lists
+/// and the union-find to publish a dozen chunks mid-run — versus hints big
+/// enough that nothing grows.  The delta is the price of the epoch-published
+/// chunked design's growth path; the `tiny ≈ generous` outcome is what lets
+/// `RunConfig` treat the old budgets as mere hints.
+fn growth_cost(c: &mut Criterion) {
+    let levels = if smoke_mode() { 8 } else { 14 };
+    let w = live_growth(levels, false);
+    let probe = run_program(&w.prog, &RunConfig::serial(w.locations));
+    let threads = probe.threads;
+    let hint_configs: [(&str, usize, usize); 2] =
+        [("tiny-hints", 64, 2), ("generous-hints", 1 << 20, 1 << 14)];
+
+    let mut group = c.benchmark_group("live-growth");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(threads.max(1)));
+    for workers in [1usize, 4] {
+        for (label, max_threads, max_steals) in hint_configs {
+            let config = RunConfig {
+                workers,
+                locations: w.locations,
+                max_threads,
+                max_steals,
+                ..RunConfig::default()
+            };
+            group.bench_function(format!("{label}/w{workers}"), |b| {
+                b.iter(|| run_program(&w.prog, &config))
+            });
+        }
+    }
+    group.finish();
+
+    let reps = if smoke_mode() { 1 } else { 3 };
+    println!("\n=== live_growth summary (ns/thread, best of {reps}; {threads} threads) ===");
+    for workers in [1usize, 4] {
+        for (label, max_threads, max_steals) in hint_configs {
+            let config = RunConfig {
+                workers,
+                locations: w.locations,
+                max_threads,
+                max_steals,
+                ..RunConfig::default()
+            };
+            let mut best = f64::INFINITY;
+            let mut grow_events = 0;
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                let run = std::hint::black_box(run_program(&w.prog, &config));
+                best = best.min(t.elapsed().as_nanos() as f64 / threads.max(1) as f64);
+                grow_events = run.sp_grow_events;
+            }
+            println!("{} w{workers} {label}: live {best:.1} ({grow_events} grow events)", w.name);
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_millis(1200));
-    targets = live_overhead
+    targets = live_overhead, growth_cost
 }
 criterion_main!(benches);

@@ -79,6 +79,11 @@ pub enum ShapeKind {
     DeepNesting,
     /// Fully random canonical Cilk program ([`random_cilk_program`]).
     RandomCilk,
+    /// Deep spawn chains hanging off a wide parallel loop: the
+    /// unbounded-growth stressor.  Sized so that live runs with tiny
+    /// capacity hints cross several chunk boundaries of the growable
+    /// SP-hybrid substrates on every seed.
+    GrowthStress,
     /// Random series-parallel tree that is *not* in canonical Cilk form;
     /// exercises every backend except SP-hybrid (which, like the paper,
     /// assumes Cilk canonical form).
@@ -87,11 +92,12 @@ pub enum ShapeKind {
 
 impl ShapeKind {
     /// Every shape, in sweep order.
-    pub const ALL: [ShapeKind; 5] = [
+    pub const ALL: [ShapeKind; 6] = [
         ShapeKind::DivideAndConquer,
         ShapeKind::ParallelLoop,
         ShapeKind::DeepNesting,
         ShapeKind::RandomCilk,
+        ShapeKind::GrowthStress,
         ShapeKind::RandomSp,
     ];
 
@@ -102,6 +108,7 @@ impl ShapeKind {
             ShapeKind::ParallelLoop => "parallel-loop",
             ShapeKind::DeepNesting => "deep-nesting",
             ShapeKind::RandomCilk => "random-cilk",
+            ShapeKind::GrowthStress => "growth-stress",
             ShapeKind::RandomSp => "random-sp",
         }
     }
@@ -151,6 +158,31 @@ impl ShapeKind {
                     work: 2,
                 };
                 Some(random_cilk_program(params, seed))
+            }
+            ShapeKind::GrowthStress => {
+                // Deep spawn chains hanging off a wide parallel loop.  The
+                // live conformance harness runs these with tiny substrate
+                // hints, so the per-seed thread count (hundreds) forces
+                // multiple chunk publications in the union-find, and the
+                // nesting gives steals plenty of continuations to split.
+                // `size` saturates at 16 to keep debug-mode sweeps affordable
+                // (still hundreds of threads — dozens of chunk crossings with
+                // the conformance harness's hint of 4).
+                let depth = 4 + size.min(16);
+                let mut chain = Procedure::single(SyncBlock::new().work(1));
+                for _ in 0..depth {
+                    chain = Procedure::single(SyncBlock::new().work(1).spawn(chain));
+                }
+                let width = 4 + 2 * size.min(16) as usize;
+                let mut block = SyncBlock::new().work(1);
+                for _ in 0..width {
+                    block = block.spawn(if rng.gen_bool(0.5) {
+                        chain.clone()
+                    } else {
+                        Procedure::single(SyncBlock::new().work(1 + rng.gen_range(0..2u64)))
+                    });
+                }
+                Some(Procedure::single(block.work(1)))
             }
             ShapeKind::RandomSp => None,
         }
@@ -804,7 +836,7 @@ pub fn case_seed(base_seed: u64, shape_idx: u64, case: u64) -> u64 {
 ///
 /// let config = SweepConfig { cases_per_shape: 2, ..SweepConfig::default() };
 /// let stats = run_sweep(&config).expect("sweep is green");
-/// assert_eq!(stats.cases, 10); // 2 cases × 5 shapes
+/// assert_eq!(stats.cases, 12); // 2 cases × 6 shapes
 /// ```
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepStats, Box<ConformanceFailure>> {
     let mut stats = SweepStats::default();

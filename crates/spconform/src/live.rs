@@ -223,11 +223,16 @@ pub fn check_live_case(
             ("live-sp-hybrid", LiveMaintainer::Hybrid),
             ("live-naive-locked", LiveMaintainer::NaiveLocked),
         ] {
+            // Tiny capacity hints: every multi-worker case outgrows the
+            // initial chunks of the growable substrates, so the sweep
+            // exercises chunk-boundary crossings on every seed (the hints
+            // are behavior-neutral — only initial sizes, never limits).
             let config = RunConfig {
                 workers,
                 locations,
                 maintainer,
-                ..RunConfig::default()
+                max_threads: 4,
+                max_steals: 1,
             };
             let run = run_program(&live, &config);
             parallel_runs += 1;
@@ -408,7 +413,7 @@ mod tests {
             ..SweepConfig::default()
         };
         let stats = run_live_sweep(&config).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(stats.cases, 12, "4 Cilk shapes × 3 cases");
+        assert_eq!(stats.cases, 15, "5 Cilk shapes × 3 cases");
         assert!(stats.planted > 0);
         assert!(stats.parallel_runs >= stats.cases, "every case ran multi-worker");
     }

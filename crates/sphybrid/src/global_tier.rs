@@ -42,11 +42,12 @@ pub struct GlobalTier {
 }
 
 impl GlobalTier {
-    /// Create a global tier able to hold `max_traces` traces, containing the
-    /// initial trace whose handles are returned.
-    pub fn new(max_traces: usize) -> (Self, ConcurrentOmNode, ConcurrentOmNode) {
-        let (eng, eng_base) = ConcurrentOmList::with_capacity(max_traces);
-        let (heb, heb_base) = ConcurrentOmList::with_capacity(max_traces);
+    /// Create a global tier containing the initial trace, whose handles are
+    /// returned.  `initial_traces` is only a capacity hint: the underlying
+    /// order-maintenance slabs grow on demand as steals split traces.
+    pub fn new(initial_traces: usize) -> (Self, ConcurrentOmNode, ConcurrentOmNode) {
+        let (eng, eng_base) = ConcurrentOmList::with_capacity(initial_traces);
+        let (heb, heb_base) = ConcurrentOmList::with_capacity(initial_traces);
         (
             GlobalTier {
                 eng,
@@ -96,6 +97,11 @@ impl GlobalTier {
     /// Total lock-free query retries observed by the two lists.
     pub fn query_retries(&self) -> u64 {
         self.eng.query_retry_count() + self.heb.query_retry_count()
+    }
+
+    /// Slab chunks published after construction across both lists.
+    pub fn grow_events(&self) -> u64 {
+        self.eng.grow_events() + self.heb.grow_events()
     }
 
     /// Approximate heap bytes used.

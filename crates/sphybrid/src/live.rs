@@ -18,11 +18,12 @@
 //!   (Figure 8, lines 19–24), the stolen continuation runs under U⁽⁴⁾ and
 //!   the post-join code under U⁽⁵⁾.
 //!
-//! Because capacity of the two substrates must be fixed up front (lock-free
-//! queries address preallocated slabs), a live run declares budgets in
-//! [`LiveHybridConfig`]: the maximum number of threads and steals.  Both are
-//! enforced with a clear panic — a real runtime would reserve generously and
-//! treat exhaustion as an abort, exactly as we do.
+//! The two substrates grow on demand (chunked slabs published with release
+//! stores, addressed by readers with acquire loads — see
+//! `ARCHITECTURE.md#growable-epoch-published-substrates`), so a live run
+//! needs **no budgets**: [`LiveHybridConfig`] only carries initial-capacity
+//! hints, and a program may execute any number of threads and suffer any
+//! number of steals without a capacity panic anywhere on the live path.
 //!
 //! See `ARCHITECTURE.md#live-execution-spprog`.
 
@@ -32,22 +33,28 @@ use crate::global_tier::GlobalTier;
 use crate::local_tier::{BagKind, LocalTier};
 use crate::trace::{TraceArena, TraceId};
 
-/// Capacity budgets of a live SP-hybrid run.
+/// Initial-capacity hints of a live SP-hybrid run.
+///
+/// Both fields are **hints only** (kept under their historical names for
+/// source compatibility): they size the first chunk of each growable
+/// substrate, and the structures grow on demand past them.  Exceeding a hint
+/// costs one chunk publication, never a panic.
 #[derive(Clone, Copy, Debug)]
 pub struct LiveHybridConfig {
-    /// Maximum number of threads the program may execute (sizes the shared
-    /// union-find; exceeded ⇒ panic).
+    /// Expected number of threads (initial size of the shared union-find's
+    /// first chunk; the slab grows past it on demand).
     pub max_threads: usize,
-    /// Maximum number of steals (each creates 4 traces; sizes the global
-    /// tier's order-maintenance slabs; exceeded ⇒ panic).
+    /// Expected number of steals (each creates 4 traces; sizes the first
+    /// chunk of the global tier's order-maintenance slabs, which grow past
+    /// it on demand).
     pub max_steals: usize,
 }
 
 impl Default for LiveHybridConfig {
     fn default() -> Self {
         LiveHybridConfig {
-            max_threads: 1 << 16,
-            max_steals: 1 << 12,
+            max_threads: 1 << 10,
+            max_steals: 1 << 7,
         }
     }
 }
@@ -61,21 +68,20 @@ pub struct LiveSpHybrid {
     local: LocalTier,
     traces: TraceArena,
     root_trace: TraceId,
-    max_threads: usize,
 }
 
 impl LiveSpHybrid {
-    /// Build an empty structure under the given budgets.
+    /// Build an empty structure; `config` only seeds the initial chunk sizes
+    /// of the growable substrates.
     pub fn new(config: LiveHybridConfig) -> Self {
-        let max_traces = 4 * config.max_steals + 16;
-        let (global, eng_base, heb_base) = GlobalTier::new(max_traces.max(4));
+        let initial_traces = 4 * config.max_steals + 16;
+        let (global, eng_base, heb_base) = GlobalTier::new(initial_traces.max(4));
         let (traces, root_trace) = TraceArena::new(eng_base, heb_base);
         LiveSpHybrid {
             global,
             local: LocalTier::new(config.max_threads.max(1)),
             traces,
             root_trace,
-            max_threads: config.max_threads.max(1),
         }
     }
 
@@ -103,6 +109,12 @@ impl LiveSpHybrid {
     /// Approximate heap bytes used by the two tiers.
     pub fn space_bytes(&self) -> usize {
         self.global.space_bytes() + self.local.space_bytes()
+    }
+
+    /// Substrate chunks published after construction (order-maintenance
+    /// lists + union-find) — how often the run outgrew its initial hints.
+    pub fn grow_events(&self) -> u64 {
+        self.global.grow_events() + self.local.grow_events()
     }
 
     /// Which trace does an already-executed thread currently belong to, and
@@ -133,11 +145,6 @@ impl LiveSpHybrid {
     /// Line 3 of Figure 8: `thread` (of procedure `proc`, running as part of
     /// `trace`) starts executing — insert it into the procedure's S-bag.
     pub fn thread_executed(&self, proc: ProcId, thread: ThreadId, trace: TraceId) {
-        assert!(
-            thread.index() < self.max_threads,
-            "live run exceeded max_threads ({}); raise LiveHybridConfig::max_threads",
-            self.max_threads
-        );
         let state = self.traces.get(trace);
         let mut local = state.local.lock();
         self.local.thread_executed(&mut local, trace, proc, thread);
@@ -241,13 +248,32 @@ mod tests {
         }
     }
 
+    /// Regression for the old budget behavior: exceeding `max_threads` used
+    /// to panic with guidance; the hint is now just an initial chunk size
+    /// and both tiers grow through it without disturbing query answers.
     #[test]
-    #[should_panic(expected = "max_threads")]
-    fn exceeding_the_thread_budget_panics_with_guidance() {
+    fn exceeding_the_hints_grows_instead_of_panicking() {
         let h = LiveSpHybrid::new(LiveHybridConfig { max_threads: 2, max_steals: 1 });
         let u = h.root_trace();
-        h.thread_executed(ProcId(0), ThreadId(0), u);
-        h.thread_executed(ProcId(0), ThreadId(1), u);
-        h.thread_executed(ProcId(0), ThreadId(2), u);
+        let main = ProcId(0);
+        // Thread ids far past the hint: the union-find grows on demand.
+        for t in 0..200 {
+            h.thread_executed(main, ThreadId(t), u);
+        }
+        // Steals far past the hint: the order-maintenance slabs grow.
+        let mut victim = u;
+        let mut splits = vec![u];
+        for _ in 0..40 {
+            let (u4, _u5) = h.split(main, victim);
+            splits.push(u4);
+            victim = u4;
+        }
+        assert_eq!(h.num_traces(), 1 + 4 * 40);
+        assert!(h.grow_events() > 0, "tiny hints must have forced growth");
+        // Serial threads executed before every split still precede the
+        // deepest stolen continuation.
+        for t in 0..200 {
+            assert!(h.precedes_current(ThreadId(t), victim));
+        }
     }
 }

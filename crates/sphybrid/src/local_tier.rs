@@ -47,11 +47,17 @@ pub struct LocalTier {
 }
 
 impl LocalTier {
-    /// Create a local tier for a program with `num_threads` threads.
+    /// Create a local tier; `num_threads` is only an initial-capacity hint —
+    /// the shared union-find grows on demand as threads execute.
     pub fn new(num_threads: usize) -> Self {
         LocalTier {
             sets: ConcurrentUnionFind::with_capacity(num_threads.max(1)),
         }
+    }
+
+    /// Slab chunks published after construction — growth past the hint.
+    pub fn grow_events(&self) -> u64 {
+        self.sets.grow_events()
     }
 
     /// `LOCAL-INSERT`: the currently executing `thread` (in procedure `proc`,

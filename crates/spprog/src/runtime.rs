@@ -142,11 +142,15 @@ pub struct RunConfig {
     pub workers: usize,
     /// Number of shared-memory locations (sizes value + shadow memory).
     pub locations: u32,
-    /// Budget for the number of threads the program may execute
-    /// (multi-worker SP-hybrid runs preallocate lock-free slabs; exceeded ⇒
-    /// panic with guidance).
+    /// **Deprecated budget, now an initial-capacity hint.**  The SP-hybrid
+    /// substrates grow on demand (chunked slabs, published lock-free), so a
+    /// program may execute any number of threads regardless of this value;
+    /// it only sizes the union-find's first chunk.  No caller needs to size
+    /// a program up front anymore.
     pub max_threads: usize,
-    /// Budget for the number of steals (sizes the global tier).
+    /// **Deprecated budget, now an initial-capacity hint.**  Sizes the first
+    /// chunk of the global tier's order-maintenance slabs; any number of
+    /// steals beyond it just publishes more chunks.
     pub max_steals: usize,
     /// SP maintainer for multi-worker runs.
     pub maintainer: LiveMaintainer,
@@ -157,8 +161,8 @@ impl Default for RunConfig {
         RunConfig {
             workers: 1,
             locations: 64,
-            max_threads: 1 << 16,
-            max_steals: 1 << 12,
+            max_threads: 1 << 10,
+            max_steals: 1 << 7,
             maintainer: LiveMaintainer::Hybrid,
         }
     }
@@ -200,6 +204,9 @@ pub struct LiveRun {
     pub maintainer: &'static str,
     /// Approximate heap bytes of the SP structures (not the detector).
     pub sp_space_bytes: usize,
+    /// Substrate chunks published beyond the initial hints during the run
+    /// (0 for serial and naive-locked runs, which have no chunked slabs).
+    pub sp_grow_events: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -259,6 +266,7 @@ fn run_serial(prog: &Proc, config: &RunConfig) -> LiveRun {
         workers: 1,
         maintainer,
         sp_space_bytes,
+        sp_grow_events: 0,
         elapsed,
     }
 }
@@ -363,6 +371,7 @@ fn run_parallel_hybrid(prog: &Proc, config: &RunConfig, workers: usize) -> LiveR
         workers,
         maintainer: "live-sp-hybrid",
         sp_space_bytes: hybrid.space_bytes(),
+        sp_grow_events: hybrid.grow_events(),
         elapsed: stats.elapsed,
     }
 }
@@ -475,6 +484,7 @@ fn run_parallel_naive(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRu
         workers,
         maintainer: "live-naive-locked",
         sp_space_bytes: sp.stream_space_bytes(),
+        sp_grow_events: 0,
         elapsed: stats.elapsed,
     }
 }

@@ -14,7 +14,7 @@ pub mod programs;
 pub mod scripts;
 
 pub use live::{
-    live_fib, live_from_cilk, live_matmul, live_parallel_loop, live_serial_chain,
+    live_fib, live_from_cilk, live_growth, live_matmul, live_parallel_loop, live_serial_chain,
     live_spawn_chain, LiveWorkload,
 };
 pub use programs::{Workload, WorkloadKind};

@@ -145,6 +145,46 @@ pub fn live_serial_chain(n: u32) -> LiveWorkload {
     }
 }
 
+/// Spawn-heavy balanced binary recursion: `2^levels` leaves, each spawned
+/// lazily, every leaf reading a root-initialized cell.  The thread count is
+/// exponential in `levels` while the program text is constant — the growth
+/// workload for the chunked substrates: run it with tiny capacity hints and
+/// the OM lists, DSU slabs and shadow tiers all cross several chunk
+/// boundaries.  With `racy`, every leaf also increments a shared cell, so the
+/// whole leaf frontier is pairwise logically parallel on location 1.
+///
+/// Balanced (rather than chain-shaped) on purpose: the serial walker's stack
+/// depth stays at `levels` even when the leaf count reaches millions, which
+/// is what makes the soak-scale runs feasible.
+pub fn live_growth(levels: u32, racy: bool) -> LiveWorkload {
+    fn node(d: u32, racy: bool) -> impl Fn(&mut ProcBuilder) + Send + Sync {
+        move |p: &mut ProcBuilder| {
+            if d == 0 {
+                p.step(move |m| {
+                    let v = m.read(0);
+                    if racy {
+                        m.write(1, v + 1);
+                    }
+                });
+                return;
+            }
+            p.spawn(node(d - 1, racy));
+            p.spawn(node(d - 1, racy));
+            p.step(|_| {});
+        }
+    }
+    let prog = build_proc(move |p| {
+        p.step(|m| m.write(0, 7));
+        node(levels, racy)(p);
+    });
+    LiveWorkload {
+        name: "live-growth",
+        prog,
+        locations: 2,
+        expected_racy: if racy { vec![1] } else { vec![] },
+    }
+}
+
 /// Blocked matrix multiply `C = A × B` with one spawned task per row of `C` —
 /// the "real-feeling" kernel: shared read-only inputs, private output rows,
 /// a serial init and a serial checksum.  With `seeded_race`, every row task

@@ -56,7 +56,7 @@ fn live_and_tree_runs_report_the_same_races() {
             }
         }
     }
-    assert_eq!(cases, 40, "4 Cilk shapes × 10 cases");
+    assert_eq!(cases, 50, "5 Cilk shapes × 10 cases");
     assert!(planted > 0, "the sweep must exercise real races");
 }
 
@@ -101,6 +101,51 @@ fn serial_live_reports_match_every_offline_backend() {
                 "{}: live serial vs offline {name}",
                 workload.name
             );
+        }
+    }
+}
+
+/// Capacity hints are behavior-neutral: a run that outgrows tiny initial
+/// chunks (forcing many substrate growth events) reports exactly what a run
+/// with generous hints reports, and the serial report stays bit-identical to
+/// offline detection via the recorded-program bridge throughout.  This pins
+/// the growable-substrate swap to the fixed-slab behavior it replaced.
+#[test]
+fn capacity_hints_do_not_affect_reports() {
+    for w in [live_fib(8, true), live_matmul(3, true)] {
+        // Recorded-program bridge: the offline serial reference.
+        let rec = record_program(&w.prog, w.locations);
+        let (offline, _) =
+            detect_races::<SpOrder>(&rec.tree, &rec.script, BackendConfig::serial());
+        // Serial live: bit-identical (hint-independent by construction).
+        let serial = run_program(&w.prog, &RunConfig::serial(w.locations));
+        assert_eq!(serial.report.races(), offline.races(), "{} serial bridge", w.name);
+        // Multi-worker: tiny hints (grows through several chunks) and
+        // generous hints (never grows) must agree on racy locations.
+        for (max_threads, max_steals) in [(2usize, 1usize), (1 << 12, 1 << 8)] {
+            let run = run_program(
+                &w.prog,
+                &RunConfig {
+                    workers: 4,
+                    locations: w.locations,
+                    max_threads,
+                    max_steals,
+                    ..RunConfig::default()
+                },
+            );
+            assert_eq!(
+                run.report.racy_locations(),
+                w.expected_racy,
+                "{} hints=({max_threads},{max_steals})",
+                w.name
+            );
+            if max_threads == 2 {
+                assert!(
+                    run.sp_grow_events > 0,
+                    "{} must outgrow the tiny hints",
+                    w.name
+                );
+            }
         }
     }
 }
