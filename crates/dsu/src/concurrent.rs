@@ -36,19 +36,11 @@ use std::sync::Mutex;
 /// doublings.
 const MAX_CHUNKS: usize = 32;
 
-/// Round an initial-capacity hint to a base chunk size, honoring the same
-/// `SP_OM_CHUNK` override the order-maintenance slab uses, so one CI knob
-/// shrinks every substrate at once.
-fn base_chunk_size(hint: usize) -> usize {
-    let hint = match std::env::var("SP_OM_CHUNK") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => hint,
-        },
-        Err(_) => hint,
-    };
-    hint.next_power_of_two().clamp(2, 1 << 24)
-}
+// The base chunk size honors the same validated `SP_OM_CHUNK` override the
+// order-maintenance slab uses (`om::concurrent::parse_chunk_env`), so one CI
+// knob shrinks every substrate at once and a typo in the knob fails loudly
+// in exactly one place.
+use om::concurrent::base_chunk_size;
 
 /// One slab element; all fields readable without any lock.
 struct Element {
@@ -148,17 +140,26 @@ impl ConcurrentUnionFind {
             let k = *chunks;
             assert!(k < MAX_CHUNKS, "ConcurrentUnionFind exceeded u32 index space");
             let start = self.cumulative(k) - self.chunk_len(k);
+            // The final chunk of a large-base slab can end past `u32::MAX`
+            // (e.g. base 4, k = 31), so the capacity this chunk adds — and
+            // every singleton parent it is initialized with — must be
+            // checked rather than cast: a silent wrap here would publish a
+            // *smaller* watermark and corrupt parents.
+            let published_end = u32::try_from(self.cumulative(k))
+                .expect("ConcurrentUnionFind chunk ends past u32 index space");
             let boxed: Box<[Element]> = (0..self.chunk_len(k))
                 .map(|i| Element {
-                    parent: AtomicU32::new((start + i) as u32),
+                    parent: AtomicU32::new(
+                        u32::try_from(start + i)
+                            .expect("ConcurrentUnionFind element index exceeds u32"),
+                    ),
                     rank: AtomicU32::new(0),
                     annotation: AtomicU64::new(0),
                 })
                 .collect();
             let ptr = Box::into_raw(boxed) as *mut Element;
             self.chunks[k].store(ptr, Ordering::Release);
-            self.published
-                .store(self.cumulative(k) as u32, Ordering::Release);
+            self.published.store(published_end, Ordering::Release);
             *chunks = k + 1;
             if k > 0 {
                 self.grow_events.fetch_add(1, Ordering::Relaxed);

@@ -55,18 +55,40 @@ const NIL: u32 = u32::MAX;
 /// doublings, so 32 pointers always suffice.
 const MAX_CHUNKS: usize = 32;
 
-/// Round an initial-capacity hint to a usable base chunk size, honoring the
-/// `SP_OM_CHUNK` override.  Shared by the OM list and the concurrent
-/// union-find so one knob shrinks every substrate at once.
-pub(crate) fn base_chunk_size(hint: usize) -> usize {
-    let hint = match std::env::var("SP_OM_CHUNK") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => hint,
-        },
-        Err(_) => hint,
+/// Validate a raw `SP_OM_CHUNK` value against a capacity hint.
+///
+/// An unset variable, or one that is empty/whitespace (CI matrix legs pass
+/// `SP_OM_CHUNK: ""` for the default configuration), falls back to `hint`.
+/// Anything else must parse as a positive power-of-two slot count: the knob
+/// exists to *force* a chunk size, so a typo must abort loudly rather than
+/// silently degrade to the hint.  The result is clamped to the supported
+/// range `[2, 1 << 24]`.
+pub fn parse_chunk_env(value: Option<&str>, hint: usize) -> usize {
+    let chosen = match value.map(str::trim) {
+        None | Some("") => hint,
+        Some(raw) => {
+            let n: usize = raw.parse().unwrap_or_else(|_| {
+                panic!(
+                    "SP_OM_CHUNK: unparseable value {raw:?} \
+                     (expected a positive power-of-two integer)"
+                )
+            });
+            assert!(n > 0, "SP_OM_CHUNK: chunk size must be positive, got 0");
+            assert!(
+                n.is_power_of_two(),
+                "SP_OM_CHUNK: chunk size must be a power of two, got {n}"
+            );
+            n
+        }
     };
-    hint.next_power_of_two().clamp(2, 1 << 24)
+    chosen.next_power_of_two().clamp(2, 1 << 24)
+}
+
+/// Round an initial-capacity hint to a usable base chunk size, honoring the
+/// validated `SP_OM_CHUNK` override.  Shared by the OM list and the
+/// concurrent union-find so one knob shrinks every substrate at once.
+pub fn base_chunk_size(hint: usize) -> usize {
+    parse_chunk_env(std::env::var("SP_OM_CHUNK").ok().as_deref(), hint)
 }
 
 /// Per-item atomics readable without the list lock.
@@ -399,8 +421,10 @@ impl ConcurrentOmList {
     /// the slab is full, then hand out the next stable index.  Replaces the
     /// old capacity `assert!`.
     fn alloc_slot(&self, inner: &mut Inner) -> u32 {
-        assert!(inner.len < NIL as usize, "ConcurrentOmList exceeded u32 index space");
-        let id = inner.len as u32;
+        let id = u32::try_from(inner.len)
+            .ok()
+            .filter(|&id| id != NIL)
+            .expect("ConcurrentOmList exceeded u32 index space");
         self.slots.ensure(id);
         inner.next.push(NIL);
         inner.prev.push(NIL);
@@ -564,6 +588,49 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
+
+    #[test]
+    fn chunk_env_unset_or_blank_falls_back_to_the_hint() {
+        assert_eq!(parse_chunk_env(None, 64), 64);
+        assert_eq!(parse_chunk_env(Some(""), 64), 64);
+        assert_eq!(parse_chunk_env(Some("  \t"), 64), 64);
+        // The hint itself is still rounded and clamped.
+        assert_eq!(parse_chunk_env(None, 0), 2);
+        assert_eq!(parse_chunk_env(None, 100), 128);
+        assert_eq!(parse_chunk_env(None, usize::MAX / 2), 1 << 24);
+    }
+
+    #[test]
+    fn chunk_env_valid_values_override_the_hint() {
+        assert_eq!(parse_chunk_env(Some("2"), 1 << 14), 2);
+        assert_eq!(parse_chunk_env(Some(" 1024 "), 4), 1024);
+        // 1 is a power of two but below the supported minimum: clamped to 2.
+        assert_eq!(parse_chunk_env(Some("1"), 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn chunk_env_rejects_zero() {
+        parse_chunk_env(Some("0"), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn chunk_env_rejects_non_power_of_two() {
+        parse_chunk_env(Some("3"), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "unparseable value")]
+    fn chunk_env_rejects_unparseable_values() {
+        parse_chunk_env(Some("lots"), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "unparseable value")]
+    fn chunk_env_rejects_negative_values() {
+        parse_chunk_env(Some("-8"), 64);
+    }
 
     #[test]
     fn chunk_addressing_is_stable() {

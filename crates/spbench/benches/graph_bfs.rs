@@ -1,0 +1,114 @@
+//! Graph-BFS workload cost: what does live SP maintenance plus online race
+//! detection cost on an irregular, frontier-parallel workload?
+//!
+//! The fork-join shapes benched so far (fib, matmul, growth) have regular
+//! spawn trees; `workloads::graphs` stresses the opposite regime — per-level
+//! fan-out follows the frontier of a BFS over a random digraph, so task
+//! counts and per-task access counts vary wildly between levels, and the
+//! skewed generator concentrates edges on hub nodes so a few chunks scan far
+//! more targets than the rest.  Two knobs are swept:
+//!
+//! * `G` — fair-chunking granularity (nodes per spawned task): small `G`
+//!   means many tiny tasks (spawn- and steal-heavy), large `G` means few
+//!   access-heavy tasks;
+//! * skew — uniform vs power-law out-degree distribution.
+//!
+//! Two rows per (skew, `G`, workers): `uninstrumented` (the scheduler with
+//! values only) and `live` (full on-the-fly SP maintenance + detection).
+//! `SPBENCH_SMOKE=1` shrinks everything to a CI smoke pass.
+
+use criterion::{criterion_group, criterion_main, smoke_mode, Criterion, Throughput};
+use spprog::{record_program, run_program, run_uninstrumented, RunConfig};
+use workloads::{bfs_plan, live_bfs_from_plan, power_law_digraph, uniform_digraph, BfsVariant, Digraph};
+
+/// Fixed bench seed (arbitrary; distinct from test seeds).
+const SEED: u64 = 0xBF50_0007;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn graphs() -> Vec<(&'static str, Digraph)> {
+    let (n, deg) = if smoke_mode() { (24, 2) } else { (192, 3) };
+    vec![
+        ("uniform", uniform_digraph(n, deg, SEED)),
+        ("power-law", power_law_digraph(n, deg, SEED)),
+    ]
+}
+
+fn granularities() -> &'static [u32] {
+    if smoke_mode() {
+        &[2]
+    } else {
+        &[1, 4, 16]
+    }
+}
+
+fn graph_bfs(c: &mut Criterion) {
+    for (skew, g) in graphs() {
+        for &gran in granularities() {
+            let plan = bfs_plan(&g, gran);
+            let w = live_bfs_from_plan(&plan, BfsVariant::RaceFree);
+            let recorded = record_program(&w.prog, w.locations);
+            let accesses = recorded.script.total_accesses() as u64;
+            let mut group = c.benchmark_group(format!("graph-bfs/{skew}/g{gran}"));
+            group.sample_size(10);
+            group.throughput(Throughput::Elements(accesses.max(1)));
+            for workers in WORKERS {
+                group.bench_function(format!("uninstrumented/w{workers}"), |b| {
+                    b.iter(|| run_uninstrumented(&w.prog, workers, w.locations))
+                });
+                group.bench_function(format!("live/w{workers}"), |b| {
+                    b.iter(|| run_program(&w.prog, &RunConfig::with_workers(workers, w.locations)))
+                });
+            }
+            group.finish();
+        }
+    }
+
+    // Trailing summary (best-of-N wall clock, like BENCH_live.json).
+    let reps = if smoke_mode() { 1 } else { 3 };
+    println!("\n=== graph_bfs summary (ns/access, best of {reps}) ===");
+    for (skew, g) in graphs() {
+        for &gran in granularities() {
+            let plan = bfs_plan(&g, gran);
+            let tasks: usize = plan.chunks.iter().map(Vec::len).sum();
+            let w = live_bfs_from_plan(&plan, BfsVariant::RaceFree);
+            let recorded = record_program(&w.prog, w.locations);
+            let accesses = recorded.script.total_accesses().max(1) as f64;
+            for workers in WORKERS {
+                let mut best = [f64::INFINITY; 2];
+                let mut steals = 0;
+                for _ in 0..reps {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(run_uninstrumented(&w.prog, workers, w.locations));
+                    best[0] = best[0].min(t.elapsed().as_nanos() as f64 / accesses);
+                    let t = std::time::Instant::now();
+                    let run = std::hint::black_box(run_program(
+                        &w.prog,
+                        &RunConfig::with_workers(workers, w.locations),
+                    ));
+                    best[1] = best[1].min(t.elapsed().as_nanos() as f64 / accesses);
+                    steals = run.steals;
+                }
+                println!(
+                    "{skew} g{gran} ({} levels, {tasks} tasks, {} accesses) w{workers}: \
+                     uninstrumented {:.1}, live {:.1} ({:.2}x), {steals} steals",
+                    plan.levels.len(),
+                    accesses as u64,
+                    best[0],
+                    best[1],
+                    best[1] / best[0].max(1e-9),
+                );
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = graph_bfs
+}
+criterion_main!(benches);

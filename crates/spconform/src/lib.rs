@@ -58,7 +58,10 @@ use sptree::generate::{random_cilk_program, random_sp_ast, CilkGenParams};
 use sptree::oracle::SpOracle;
 use sptree::tree::{NodeKind, ParseTree, ThreadId};
 use std::sync::atomic::{AtomicBool, Ordering};
-use workloads::{disjoint_writes, inject_races, racy_locations_oracle, random_mixed_script};
+use workloads::{
+    bfs_plan, bfs_procedure, disjoint_writes, inject_races, power_law_digraph,
+    racy_locations_oracle, random_mixed_script, uniform_digraph,
+};
 
 pub mod live;
 
@@ -84,6 +87,12 @@ pub enum ShapeKind {
     /// capacity hints cross several chunk boundaries of the growable
     /// SP-hybrid substrates on every seed.
     GrowthStress,
+    /// Fair-chunked parallel BFS over a seeded digraph
+    /// ([`workloads::graphs`]): per level one serial statement (init or
+    /// merge) plus one spawn per frontier chunk.  Seed picks the degree skew
+    /// (uniform vs power-law) and the chunk granularity, so skewed frontiers
+    /// ride every sweep.
+    GraphBfs,
     /// Random series-parallel tree that is *not* in canonical Cilk form;
     /// exercises every backend except SP-hybrid (which, like the paper,
     /// assumes Cilk canonical form).
@@ -92,14 +101,21 @@ pub enum ShapeKind {
 
 impl ShapeKind {
     /// Every shape, in sweep order.
-    pub const ALL: [ShapeKind; 6] = [
+    pub const ALL: [ShapeKind; 7] = [
         ShapeKind::DivideAndConquer,
         ShapeKind::ParallelLoop,
         ShapeKind::DeepNesting,
         ShapeKind::RandomCilk,
         ShapeKind::GrowthStress,
+        ShapeKind::GraphBfs,
         ShapeKind::RandomSp,
     ];
+
+    /// Look a shape up by its [`name`](Self::name) (the spelling reports and
+    /// the `SPCONFORM_SHAPE` env knob use).
+    pub fn by_name(name: &str) -> Option<ShapeKind> {
+        ShapeKind::ALL.into_iter().find(|s| s.name() == name)
+    }
 
     /// Short name for reports.
     pub fn name(self) -> &'static str {
@@ -109,6 +125,7 @@ impl ShapeKind {
             ShapeKind::DeepNesting => "deep-nesting",
             ShapeKind::RandomCilk => "random-cilk",
             ShapeKind::GrowthStress => "growth-stress",
+            ShapeKind::GraphBfs => "graph-bfs",
             ShapeKind::RandomSp => "random-sp",
         }
     }
@@ -183,6 +200,21 @@ impl ShapeKind {
                     });
                 }
                 Some(Procedure::single(block.work(1)))
+            }
+            ShapeKind::GraphBfs => {
+                // Node count scales with size; the seed picks uniform vs
+                // power-law degree skew and the nodes-per-chunk granularity.
+                // The procedure is the exact spawn structure of the live
+                // fair-BFS program (`workloads::live_graph_bfs`) on the same
+                // graph, so both sweeps traverse identical frontiers.
+                let n = 4 + size * 3;
+                let graph = if seed % 2 == 0 {
+                    uniform_digraph(n, 2, seed)
+                } else {
+                    power_law_digraph(n, 2, seed)
+                };
+                let granularity = 1 + ((seed >> 1) % 4) as u32;
+                Some(bfs_procedure(&bfs_plan(&graph, granularity)))
             }
             ShapeKind::RandomSp => None,
         }
@@ -755,6 +787,10 @@ pub struct SweepConfig {
     /// Every `parallel_every`-th case also runs the parallel backends
     /// multi-worker (0 disables parallel cases).
     pub parallel_every: u32,
+    /// Restrict the sweep to a single shape (`None` sweeps all of them).
+    /// Per-case seeds are unchanged by the filter: a single-shape run covers
+    /// exactly the cases the full sweep would have run for that shape.
+    pub only_shape: Option<ShapeKind>,
 }
 
 impl Default for SweepConfig {
@@ -764,13 +800,16 @@ impl Default for SweepConfig {
             cases_per_shape: 200,
             parallel_workers: 4,
             parallel_every: 8,
+            only_shape: None,
         }
     }
 }
 
 impl SweepConfig {
-    /// Read `SPCONFORM_SEED` and `SPCONFORM_CASES` from the environment,
-    /// falling back to the defaults.
+    /// Read `SPCONFORM_SEED`, `SPCONFORM_CASES` and `SPCONFORM_SHAPE` from
+    /// the environment, falling back to the defaults.  An unknown shape name
+    /// panics with the list of valid names — a CI matrix typo must not
+    /// silently run an empty sweep.
     pub fn from_env() -> Self {
         let mut config = SweepConfig::default();
         if let Some(seed) = env_u64("SPCONFORM_SEED") {
@@ -778,6 +817,17 @@ impl SweepConfig {
         }
         if let Some(cases) = env_u64("SPCONFORM_CASES") {
             config.cases_per_shape = cases as u32;
+        }
+        if let Ok(raw) = std::env::var("SPCONFORM_SHAPE") {
+            let raw = raw.trim();
+            if !raw.is_empty() {
+                config.only_shape = Some(ShapeKind::by_name(raw).unwrap_or_else(|| {
+                    panic!(
+                        "SPCONFORM_SHAPE: unknown shape {raw:?} (valid: {})",
+                        ShapeKind::ALL.map(ShapeKind::name).join(", ")
+                    )
+                }));
+            }
         }
         config
     }
@@ -836,11 +886,14 @@ pub fn case_seed(base_seed: u64, shape_idx: u64, case: u64) -> u64 {
 ///
 /// let config = SweepConfig { cases_per_shape: 2, ..SweepConfig::default() };
 /// let stats = run_sweep(&config).expect("sweep is green");
-/// assert_eq!(stats.cases, 12); // 2 cases × 6 shapes
+/// assert_eq!(stats.cases, 14); // 2 cases × 7 shapes
 /// ```
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepStats, Box<ConformanceFailure>> {
     let mut stats = SweepStats::default();
     for (shape_idx, shape) in ShapeKind::ALL.iter().copied().enumerate() {
+        if config.only_shape.is_some_and(|only| only != shape) {
+            continue;
+        }
         for case in 0..config.cases_per_shape {
             let seed = case_seed(config.base_seed, shape_idx as u64, case as u64);
             let size = 4 + (seed % 25) as u32;
@@ -910,6 +963,14 @@ pub fn minimize_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shape_names_round_trip_through_by_name() {
+        for shape in ShapeKind::ALL {
+            assert_eq!(ShapeKind::by_name(shape.name()), Some(shape));
+        }
+        assert_eq!(ShapeKind::by_name("no-such-shape"), None);
+    }
 
     #[test]
     fn shapes_build_deterministic_valid_trees() {

@@ -304,6 +304,9 @@ pub fn run_live_sweep(config: &SweepConfig) -> Result<LiveSweepStats, Box<LiveFa
         if shape.build_procedure(1, 1).is_none() {
             continue;
         }
+        if config.only_shape.is_some_and(|only| only != shape) {
+            continue;
+        }
         for case in 0..config.cases_per_shape {
             // Offset the shape index so live cases draw different programs
             // than the main sweep under the same base seed.
@@ -413,7 +416,7 @@ mod tests {
             ..SweepConfig::default()
         };
         let stats = run_live_sweep(&config).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(stats.cases, 15, "5 Cilk shapes × 3 cases");
+        assert_eq!(stats.cases, 18, "6 Cilk shapes × 3 cases");
         assert!(stats.planted > 0);
         assert!(stats.parallel_runs >= stats.cases, "every case ran multi-worker");
     }

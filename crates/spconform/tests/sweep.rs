@@ -15,11 +15,16 @@ use spconform::{run_live_sweep, run_sweep, ShapeKind, SweepConfig};
 #[test]
 fn differential_sweep_all_shapes() {
     let config = SweepConfig::from_env();
+    let shapes = if config.only_shape.is_some() {
+        1
+    } else {
+        ShapeKind::ALL.len() as u64
+    };
     match run_sweep(&config) {
         Ok(stats) => {
             assert_eq!(
                 stats.cases,
-                ShapeKind::ALL.len() as u64 * config.cases_per_shape as u64,
+                shapes * config.cases_per_shape as u64,
                 "every generated case must be checked"
             );
             assert!(stats.queries > 0 && stats.pair_queries > 0);
@@ -50,15 +55,22 @@ fn differential_sweep_all_shapes() {
 #[test]
 fn live_differential_sweep_all_cilk_shapes() {
     let config = SweepConfig::from_env();
+    // All shapes but RandomSp have a Cilk form and run live.
+    let cilk_shapes = match config.only_shape {
+        Some(shape) => u64::from(shape.is_cilk_form()),
+        None => ShapeKind::ALL.len() as u64 - 1,
+    };
     match run_live_sweep(&config) {
         Ok(stats) => {
-            // 4 of the 5 shapes have a Cilk form; RandomSp is skipped.
             assert_eq!(
                 stats.cases,
-                (ShapeKind::ALL.len() as u64 - 1) * config.cases_per_shape as u64,
+                cilk_shapes * config.cases_per_shape as u64,
                 "every Cilk-form case must run live"
             );
-            assert!(stats.planted > 0, "planted-race check must not be vacuous");
+            assert!(
+                cilk_shapes == 0 || stats.planted > 0,
+                "planted-race check must not be vacuous"
+            );
             assert!(
                 stats.parallel_runs >= 2 * stats.cases,
                 "both live maintainers must run multi-worker on every case"

@@ -9,10 +9,15 @@
 //! forks, random Cilk programs — together with access-script generators for
 //! the race-detection experiments.
 
+pub mod graphs;
 pub mod live;
 pub mod programs;
 pub mod scripts;
 
+pub use graphs::{
+    bfs_plan, bfs_procedure, live_bfs_from_plan, live_graph_bfs, power_law_digraph,
+    uniform_digraph, BfsChunk, BfsPlan, BfsVariant, Digraph,
+};
 pub use live::{
     live_fib, live_from_cilk, live_growth, live_matmul, live_parallel_loop, live_serial_chain,
     live_spawn_chain, LiveWorkload,

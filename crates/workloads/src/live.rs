@@ -305,7 +305,7 @@ pub fn live_from_cilk(procedure: &Procedure, script: &AccessScript) -> Proc {
     let mut next = 0u32;
     let prog = convert(procedure, &mut next, script);
     assert_eq!(
-        next as usize,
+        usize::try_from(next).expect("thread id space fits in usize"),
         script.num_threads(),
         "script must cover exactly the threads of the canonical lowering"
     );

@@ -13,11 +13,15 @@
 //! full sweep.
 
 use racedet::detect_races;
-use spconform::{case_seed, check_live_case, ShapeKind};
+use spconform::{case_seed, check_live_case, tree_sexpr, ShapeKind};
 use spmaint::{BackendConfig, EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
 use sphybrid::{HybridBackend, NaiveBackend};
 use spprog::{record_program, run_program, RunConfig};
-use workloads::{live_fib, live_matmul, live_parallel_loop};
+use sptree::cilk::CilkProgram;
+use workloads::{
+    bfs_plan, bfs_procedure, live_bfs_from_plan, live_fib, live_graph_bfs, live_matmul,
+    live_parallel_loop, power_law_digraph, uniform_digraph, BfsVariant,
+};
 
 /// Base seed of the fixed tier-1 live suite (distinct from both the main
 /// sweep default and the fixed conformance suite).
@@ -56,7 +60,7 @@ fn live_and_tree_runs_report_the_same_races() {
             }
         }
     }
-    assert_eq!(cases, 50, "5 Cilk shapes × 10 cases");
+    assert_eq!(cases, 60, "6 Cilk shapes × 10 cases");
     assert!(planted > 0, "the sweep must exercise real races");
 }
 
@@ -147,6 +151,137 @@ fn capacity_hints_do_not_affect_reports() {
                 );
             }
         }
+    }
+}
+
+/// The live fair-BFS program and the Cilk procedure `bfs_procedure` builds
+/// for the same plan lower to the *identical* parse tree — structure and
+/// thread numbering — via the `record_program` bridge.  This is what lets
+/// the BFS shape ride the offline conformance sweep: both sweeps traverse
+/// the same frontiers.
+#[test]
+fn bfs_live_and_cilk_procedure_lower_to_the_same_tree() {
+    for (label, graph) in [
+        ("uniform", uniform_digraph(40, 2, 9)),
+        ("power-law", power_law_digraph(40, 2, 9)),
+    ] {
+        for granularity in [1u32, 4] {
+            let plan = bfs_plan(&graph, granularity);
+            let live = live_bfs_from_plan(&plan, BfsVariant::RaceFree);
+            let rec = record_program(&live.prog, live.locations);
+            let tree = CilkProgram::new(bfs_procedure(&plan)).build_tree();
+            assert_eq!(
+                rec.tree.num_threads(),
+                tree.num_threads(),
+                "{label}/g{granularity}"
+            );
+            assert_eq!(
+                tree_sexpr(&rec.tree),
+                tree_sexpr(&tree),
+                "{label}/g{granularity}: structural identity"
+            );
+        }
+    }
+}
+
+/// The BFS workload family holds its race contract both ways: serial live
+/// reports are bit-identical to offline detection on the recorded program,
+/// and ≥ 2-worker runs report exactly the planted racy locations (the
+/// planted races are same-level write-write pairs, so completeness is
+/// schedule-independent) — nothing on the race-free variant.
+#[test]
+fn bfs_workloads_hold_their_contract_both_ways() {
+    for (label, graph) in [
+        ("uniform", uniform_digraph(50, 2, 13)),
+        ("power-law", power_law_digraph(50, 2, 13)),
+    ] {
+        for variant in
+            [BfsVariant::RaceFree, BfsVariant::RacyVisited, BfsVariant::RacyAggregate]
+        {
+            let w = live_graph_bfs(&graph, 3, variant);
+            // Serial bridge: bit-identical to the tree-driven engine.
+            let serial = run_program(&w.prog, &RunConfig::serial(w.locations));
+            let rec = record_program(&w.prog, w.locations);
+            let (offline, _) =
+                detect_races::<SpOrder>(&rec.tree, &rec.script, BackendConfig::serial());
+            assert_eq!(
+                serial.report.races(),
+                offline.races(),
+                "{label}/{variant:?} serial bridge"
+            );
+            assert_eq!(serial.report.racy_locations(), w.expected_racy, "{label}/{variant:?}");
+            // Multi-worker: planted completeness *and* exactness.
+            for workers in [2usize, 4] {
+                let run = run_program(&w.prog, &RunConfig::with_workers(workers, w.locations));
+                assert_eq!(
+                    run.report.racy_locations(),
+                    w.expected_racy,
+                    "{label}/{variant:?} w{workers}"
+                );
+                assert_eq!(run.traces as u64, 4 * run.steals + 1, "{label} trace accounting");
+            }
+        }
+    }
+}
+
+/// Hint-independence + growth-stress for the BFS shapes (the skewed
+/// power-law frontier): tiny `RunConfig` hints and a tiny `SP_OM_CHUNK`
+/// must force substrate growth (`sp_grow_events > 0`) while reporting
+/// bit-identically to generous hints.  The `SP_OM_CHUNK` knob is
+/// process-global, so when the environment does not already pin it this
+/// test re-executes itself in a child process with `SP_OM_CHUNK=2` instead
+/// of mutating the live environment under concurrent tests.
+#[test]
+fn power_law_bfs_grows_under_tiny_hints_and_tiny_chunks() {
+    let chunk_pinned =
+        std::env::var("SP_OM_CHUNK").map(|v| !v.trim().is_empty()).unwrap_or(false);
+    if !chunk_pinned {
+        let exe = std::env::current_exe().expect("test binary path");
+        let status = std::process::Command::new(exe)
+            .args([
+                "power_law_bfs_grows_under_tiny_hints_and_tiny_chunks",
+                "--exact",
+                "--nocapture",
+            ])
+            .env("SP_OM_CHUNK", "2")
+            .status()
+            .expect("re-exec the test binary with SP_OM_CHUNK=2");
+        assert!(status.success(), "tiny-chunk BFS growth leg failed");
+        return;
+    }
+
+    let graph = power_law_digraph(80, 3, 21);
+    for variant in [BfsVariant::RaceFree, BfsVariant::RacyVisited] {
+        let w = live_graph_bfs(&graph, 2, variant);
+        let tiny = RunConfig {
+            workers: 4,
+            locations: w.locations,
+            max_threads: 2,
+            max_steals: 1,
+            ..RunConfig::default()
+        };
+        let generous = RunConfig {
+            workers: 4,
+            locations: w.locations,
+            max_threads: 1 << 12,
+            max_steals: 1 << 8,
+            ..RunConfig::default()
+        };
+        let tiny_run = run_program(&w.prog, &tiny);
+        let generous_run = run_program(&w.prog, &generous);
+        assert!(
+            tiny_run.sp_grow_events > 0,
+            "{}: tiny hints + tiny chunks must grow the substrates",
+            w.name
+        );
+        assert_eq!(tiny_run.report.racy_locations(), w.expected_racy, "{} tiny", w.name);
+        assert_eq!(generous_run.report.racy_locations(), w.expected_racy, "{} generous", w.name);
+        // Serial bridge stays bit-identical under the tiny chunk size too.
+        let serial = run_program(&w.prog, &RunConfig::serial(w.locations));
+        let rec = record_program(&w.prog, w.locations);
+        let (offline, _) =
+            detect_races::<SpOrder>(&rec.tree, &rec.script, BackendConfig::serial());
+        assert_eq!(serial.report.races(), offline.races(), "{} serial bridge", w.name);
     }
 }
 
