@@ -45,7 +45,7 @@ use sptree::tree::{ParseTree, ThreadId};
 
 use crate::access::{Access, AccessKind, AccessScript};
 use crate::report::{Race, RaceKind, RaceReport};
-use crate::shadow::{PerCellShadowMemory, ShadowCell, ShardedShadowMemory};
+use crate::shadow::{PerCellShadowMemory, ShadowCell, ShadowStore, ShardedShadowMemory};
 
 /// Run race detection over `tree` with backend `B` built under `config`.
 /// Returns the race report and the fully built backend (useful for space
@@ -168,9 +168,9 @@ fn apply_access(
 /// Both tiers are sound for the same reason: a packed cell is one atomic
 /// word, the snapshot is a linearization point, and the locked path given
 /// the same snapshot would have reported nothing and written nothing.
-fn silent_fast_path(
+fn silent_fast_path<S: ShadowStore + ?Sized>(
     queries: &dyn CurrentSpQuery,
-    shadow: &ShardedShadowMemory,
+    shadow: &S,
     current: ThreadId,
     access: Access,
 ) -> bool {
@@ -205,9 +205,13 @@ fn silent_fast_path(
 ///
 /// This is the per-thread body of [`detect_races`], public so benchmarks and
 /// stress tests can drive the exact engine path against hand-built queries.
-pub fn check_thread_accesses(
+/// Generic over the shadow store: the standalone [`ShardedShadowMemory`] and
+/// the multi-session epoch view ([`crate::epoch::EpochShadowView`]) run the
+/// very same loop, which is what makes service-session reports bit-identical
+/// to standalone runs by construction.
+pub fn check_thread_accesses<S: ShadowStore + ?Sized>(
     queries: &dyn CurrentSpQuery,
-    shadow: &ShardedShadowMemory,
+    shadow: &S,
     report: &Mutex<RaceReport>,
     current: ThreadId,
     accesses: &[Access],
@@ -218,7 +222,7 @@ pub fn check_thread_accesses(
     // Stable order of access indices grouped by shard.  Stability preserves
     // program order within a shard, and same-location accesses always share
     // a shard, so every cell still sees its updates in program order.
-    let mut order: Vec<u32> = (0..accesses.len() as u32).collect();
+    let mut order: Vec<u32> = (0..batch_index_count(accesses.len())).collect();
     order.sort_by_key(|&i| shadow.shard_of(accesses[i as usize].loc));
 
     let mut found: Vec<(u32, Race)> = Vec::new();
@@ -265,6 +269,15 @@ pub fn check_thread_accesses(
     }
 }
 
+/// Checked size of one thread's access batch: batch indices are `u32` (they
+/// ride in the shard-grouped order vector and the race re-sort keys), so a
+/// batch beyond `u32::MAX` accesses must fail loudly, not wrap.
+fn batch_index_count(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| {
+        panic!("one thread recorded {len} accesses, which exceeds the engine's u32 batch-index space")
+    })
+}
+
 /// Shadow check for one access against the per-cell-locked baseline store.
 /// Not used by [`detect_races`] (which runs the sharded path above); kept
 /// public as the measured baseline of the `shadow_contention` benchmark.
@@ -287,6 +300,18 @@ mod tests {
     use super::*;
     use crate::access::Access;
     use sphybrid::{HybridBackend, NaiveBackend};
+
+    #[test]
+    fn batch_index_count_is_checked() {
+        assert_eq!(batch_index_count(0), 0);
+        assert_eq!(batch_index_count(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 batch-index space")]
+    fn oversized_access_batches_panic_instead_of_wrapping() {
+        batch_index_count(u32::MAX as usize + 1);
+    }
     use spmaint::{EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
     use sptree::cilk::{CilkProgram, Procedure, SyncBlock};
 

@@ -38,6 +38,7 @@
 
 pub mod access;
 pub mod engine;
+pub mod epoch;
 pub mod live;
 pub mod parallel;
 pub mod report;
@@ -46,8 +47,9 @@ pub mod shadow;
 
 pub use access::{Access, AccessKind, AccessScript};
 pub use engine::{check_access_per_cell, check_thread_accesses, detect_races};
-pub use live::LiveDetector;
+pub use epoch::{EpochShadowArena, EpochShadowView};
+pub use live::{DetectionSink, LiveDetector};
 pub use parallel::ParallelRaceDetector;
 pub use report::{Race, RaceKind, RaceReport};
 pub use serial::SerialRaceDetector;
-pub use shadow::{PerCellShadowMemory, ShadowCell, ShardedShadowMemory};
+pub use shadow::{PerCellShadowMemory, ShadowCell, ShadowStore, ShardedShadowMemory};

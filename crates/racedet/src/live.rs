@@ -32,6 +32,30 @@ use crate::engine::check_thread_accesses;
 use crate::report::RaceReport;
 use crate::shadow::ShardedShadowMemory;
 
+/// The detection surface a live run needs from its environment: value
+/// memory for the program's reads and writes, plus per-thread batched
+/// shadow checking.
+///
+/// [`LiveDetector`] is the standalone implementor (it owns a fresh value
+/// array and [`ShardedShadowMemory`]); the `spservice` session sink is the
+/// multiplexed one, backing both planes with leased generation-tagged
+/// arenas recycled across sessions.  `spprog`'s run paths take
+/// `&dyn DetectionSink`, which is what makes them reentrant per-session
+/// instead of tied to one detector for the process's life.
+pub trait DetectionSink: Sync {
+    /// Current value of a location (program-visible memory, not shadow).
+    fn read(&self, loc: u32) -> u64;
+
+    /// Store a value into a location.
+    fn write(&self, loc: u32, value: u64);
+
+    /// Check one finished thread's recorded accesses against the shadow
+    /// memory (the per-thread batch of the generic engine).  `queries` must
+    /// answer [`CurrentSpQuery`] for `thread` as the currently executing
+    /// thread.
+    fn check_thread(&self, queries: &dyn CurrentSpQuery, thread: ThreadId, accesses: &[Access]);
+}
+
 /// Shared state of an online race-detection run: value memory, sharded
 /// shadow memory, and the report.
 ///
@@ -108,6 +132,20 @@ impl LiveDetector {
     pub fn space_bytes(&self) -> usize {
         self.values.capacity() * std::mem::size_of::<AtomicU64>()
             + self.shadow.len() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+impl DetectionSink for LiveDetector {
+    fn read(&self, loc: u32) -> u64 {
+        LiveDetector::read(self, loc)
+    }
+
+    fn write(&self, loc: u32, value: u64) {
+        LiveDetector::write(self, loc, value)
+    }
+
+    fn check_thread(&self, queries: &dyn CurrentSpQuery, thread: ThreadId, accesses: &[Access]) {
+        LiveDetector::check_thread(self, queries, thread, accesses)
     }
 }
 

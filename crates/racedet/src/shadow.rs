@@ -76,6 +76,52 @@ fn unpack(word: u64) -> ShadowCell {
     }
 }
 
+/// The surface the detection engine needs from a shadow store: consistent
+/// lock-free snapshots, a location→shard map, one striped lock per shard,
+/// and release-published cell updates.
+///
+/// Two implementors exist: [`ShardedShadowMemory`] (the standalone engines'
+/// store) and the generation-tagged epoch view of
+/// [`crate::epoch::EpochShadowArena`] (the multi-session service's store,
+/// where "empty" is a generation mismatch instead of a zeroed word).  The
+/// engine ([`crate::engine::check_thread_accesses`]) is generic over this
+/// trait, which is what lets one detection loop serve both.
+pub trait ShadowStore: Sync {
+    /// Consistent lock-free snapshot of a cell (one atomic load).
+    fn load(&self, loc: u32) -> ShadowCell;
+
+    /// The shard that guards `loc`.
+    fn shard_of(&self, loc: u32) -> usize;
+
+    /// Acquire the striped lock of one shard.  Mutating any cell of the
+    /// shard ([`Self::store`]) requires holding this.
+    fn lock_shard(&self, shard: usize) -> parking_lot::MutexGuard<'_, ()>;
+
+    /// Publish a new cell value; the caller must hold the shard lock of
+    /// `shard_of(loc)`.  The store itself must be a single atomic release so
+    /// unlocked [`Self::load`]s always see a consistent value.
+    fn store(&self, loc: u32, cell: ShadowCell);
+}
+
+/// Striped-lock layout shared by every sharded shadow store: returns
+/// `(shard_shift, num_shards)` for `locations` locations and `workers`
+/// concurrent workers (see [`ShardedShadowMemory`] for the rationale).
+pub(crate) fn shard_layout(locations: u32, workers: usize) -> (u32, usize) {
+    let workers = workers.max(1) as u32;
+    // Target a power-of-two lock count comfortably above the worker
+    // count, capped by how many cache-line blocks there are to guard.
+    let target_shards = (8 * workers).next_power_of_two();
+    let blocks = locations.div_ceil(ShardedShadowMemory::MIN_BLOCK).max(1);
+    let shards = target_shards.min(blocks.next_power_of_two());
+    let cells_per_shard = locations
+        .div_ceil(shards)
+        .max(ShardedShadowMemory::MIN_BLOCK)
+        .next_power_of_two();
+    let shard_shift = cells_per_shard.trailing_zeros();
+    let num_shards = (locations.div_ceil(cells_per_shard)).max(1) as usize;
+    (shard_shift, num_shards)
+}
+
 /// Sharded, cache-aware shadow memory — the engine's shadow store.
 ///
 /// Cells live in one flat array of packed `AtomicU64` words.  Consecutive
@@ -101,23 +147,12 @@ pub struct ShardedShadowMemory {
 impl ShardedShadowMemory {
     /// Minimum cells per shard: one 64-byte cache line of packed words, so
     /// two shards never false-share a line of cells.
-    const MIN_BLOCK: u32 = 8;
+    pub(crate) const MIN_BLOCK: u32 = 8;
 
     /// Shadow memory covering `locations` locations, with striped locks
     /// sized for `workers` concurrent workers.
     pub fn new(locations: u32, workers: usize) -> Self {
-        let workers = workers.max(1) as u32;
-        // Target a power-of-two lock count comfortably above the worker
-        // count, capped by how many cache-line blocks there are to guard.
-        let target_shards = (8 * workers).next_power_of_two();
-        let blocks = locations.div_ceil(Self::MIN_BLOCK).max(1);
-        let shards = target_shards.min(blocks.next_power_of_two());
-        let cells_per_shard = locations
-            .div_ceil(shards)
-            .max(Self::MIN_BLOCK)
-            .next_power_of_two();
-        let shard_shift = cells_per_shard.trailing_zeros();
-        let num_shards = (locations.div_ceil(cells_per_shard)).max(1) as usize;
+        let (shard_shift, num_shards) = shard_layout(locations, workers);
         ShardedShadowMemory {
             cells: (0..locations).map(|_| AtomicU64::new(pack(ShadowCell::default()))).collect(),
             locks: (0..num_shards).map(|_| CachePadded::new(Mutex::new(()))).collect(),
@@ -167,6 +202,24 @@ impl ShardedShadowMemory {
     /// see a consistent value.
     pub(crate) fn store(&self, loc: u32, cell: ShadowCell) {
         self.cells[loc as usize].store(pack(cell), Ordering::Release);
+    }
+}
+
+impl ShadowStore for ShardedShadowMemory {
+    fn load(&self, loc: u32) -> ShadowCell {
+        ShardedShadowMemory::load(self, loc)
+    }
+
+    fn shard_of(&self, loc: u32) -> usize {
+        ShardedShadowMemory::shard_of(self, loc)
+    }
+
+    fn lock_shard(&self, shard: usize) -> parking_lot::MutexGuard<'_, ()> {
+        ShardedShadowMemory::lock_shard(self, shard)
+    }
+
+    fn store(&self, loc: u32, cell: ShadowCell) {
+        ShardedShadowMemory::store(self, loc, cell)
     }
 }
 

@@ -1,0 +1,215 @@
+//! Detection-service throughput: sessions per second through
+//! [`spservice::DetectionService`] on a mixed workload stream, plus the two
+//! design deltas the service exists for:
+//!
+//! * **worker scaling** — the same 4-workload mix (race-free and racy fib,
+//!   spawn-recursion growth, frontier-parallel BFS) drained by pools of 1,
+//!   2, and 4 detector workers.  Sessions are deterministic (serial mode),
+//!   so all concurrency is *between* sessions; on a 1-core container the
+//!   multi-worker rows mostly price scheduling overhead, not speedup;
+//! * **sequential vs scheduled admission** — the same stream submitted one
+//!   session at a time (every admission takes the ≤1-pending sequential
+//!   fast path) vs all up front (every admission runs the scored
+//!   shortest-job-first walk over the full queue);
+//! * **epoch reset vs arena reallocation** — recycling a 64k-location
+//!   [`spservice::SessionArena`] with one generation bump vs allocating a
+//!   fresh one, the per-session cost the epoch design removes (the
+//!   committed capture must show reset ≥ 10x cheaper; the bench asserts
+//!   it).
+//!
+//! The trailing report prints the `BENCH_service.json` document via the
+//! shared [`spbench::BenchReport`] emitter; the committed file at the
+//! repository root is a capture of that output.  `SPBENCH_SMOKE=1` shrinks
+//! everything to a CI smoke pass.
+
+use criterion::{criterion_group, criterion_main, smoke_mode, Criterion, Throughput};
+use spbench::{BenchReport, Row};
+use spservice::{DetectionService, ServiceConfig, SessionArena};
+use workloads::{
+    bfs_plan, live_bfs_from_plan, live_fib, live_growth, uniform_digraph, BfsVariant, LiveWorkload,
+};
+
+/// Fixed bench seed (arbitrary; distinct from test seeds).
+const SEED: u64 = 0x5E41_11CE;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn mix() -> Vec<LiveWorkload> {
+    let (fib_depth, growth_levels, bfs_nodes) = if smoke_mode() { (5, 5, 16) } else { (10, 9, 96) };
+    let plan = bfs_plan(&uniform_digraph(bfs_nodes, 3, SEED), 4);
+    vec![
+        live_fib(fib_depth, false),
+        live_fib(fib_depth, true),
+        live_growth(growth_levels, false),
+        live_bfs_from_plan(&plan, BfsVariant::RaceFree),
+    ]
+}
+
+/// Submit `rounds` copies of the mix up front and wait for every outcome;
+/// returns the session count.
+fn drain(service: &DetectionService, mix: &[LiveWorkload], rounds: usize) -> u64 {
+    let handles: Vec<_> = (0..rounds)
+        .flat_map(|_| mix.iter().map(|w| service.submit(&w.prog, w.locations)))
+        .collect();
+    let sessions = handles.len() as u64;
+    for handle in handles {
+        std::hint::black_box(handle.wait());
+    }
+    sessions
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let mix = mix();
+    let rounds = if smoke_mode() { 2 } else { 8 };
+    let mut group = c.benchmark_group("service-throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((rounds * mix.len()) as u64));
+    for workers in WORKERS {
+        let service = DetectionService::new(ServiceConfig::with_workers(workers));
+        group.bench_function(format!("mixed/w{workers}"), |b| {
+            b.iter(|| drain(&service, &mix, rounds))
+        });
+        service.shutdown();
+    }
+    group.finish();
+
+    // ---- trailing BENCH_service.json report -------------------------------
+    let reps = if smoke_mode() { 1 } else { 3 };
+    let measure_rounds = if smoke_mode() { 2 } else { 25 };
+    let mut report = BenchReport::new(
+        "service_throughput",
+        "service",
+        "sessions_per_sec",
+        &format!(
+            "best of {reps} batch drains of {measure_rounds} rounds x 4-workload mix; sessions \
+             run deterministically (serial mode), so detector workers add between-session \
+             concurrency only — on a 1-core container the scaling rows price scheduling \
+             overhead, not parallel speedup. reset_vs_realloc rows are per-operation averages \
+             on a 65536-location arena: one epoch generation bump vs allocating+initializing a \
+             fresh arena (the per-session cost the epoch design removes)."
+        ),
+    )
+    .environment("1-core Linux container, rustc 1.95.0, --release")
+    .command("cargo bench -p spbench --bench service_throughput");
+    let labels = ["fib-race-free", "fib-racy", "growth", "graph-bfs"];
+    for (label, w) in labels.iter().zip(&mix) {
+        report = report.workload(
+            label,
+            &format!("{} (locations={}), submitted as independent sessions", w.name, w.locations),
+        );
+    }
+
+    // Worker-scaling rows.
+    for workers in WORKERS {
+        let mut best_rate = 0.0f64;
+        let mut last_stats = None;
+        for _ in 0..reps {
+            let service = DetectionService::new(ServiceConfig::with_workers(workers));
+            let start = std::time::Instant::now();
+            let sessions = drain(&service, &mix, measure_rounds);
+            let secs = start.elapsed().as_secs_f64();
+            best_rate = best_rate.max(sessions as f64 / secs.max(1e-9));
+            last_stats = Some(service.shutdown());
+        }
+        let stats = last_stats.expect("at least one rep ran");
+        report.push(
+            Row::new()
+                .str("row", "scaling")
+                .int("service_workers", workers as u64)
+                .f1("sessions_per_sec", best_rate)
+                .int("sessions", stats.sessions)
+                .int("arenas_created", stats.arenas_created)
+                .int("epoch_resets", stats.epoch_resets),
+        );
+    }
+
+    // Sequential vs scheduled admission on one worker: same stream, either
+    // one pending session at a time or the whole queue ranked by SJF.
+    let mut sequential_rate = 0.0f64;
+    let mut scheduled_rate = 0.0f64;
+    let mut scheduled_stats = None;
+    for _ in 0..reps {
+        let service = DetectionService::new(ServiceConfig::with_workers(1));
+        let start = std::time::Instant::now();
+        let mut sessions = 0u64;
+        for _ in 0..measure_rounds {
+            for w in &mix {
+                std::hint::black_box(service.submit(&w.prog, w.locations).wait());
+                sessions += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        sequential_rate = sequential_rate.max(sessions as f64 / secs.max(1e-9));
+        service.shutdown();
+
+        let service = DetectionService::new(ServiceConfig::with_workers(1));
+        let start = std::time::Instant::now();
+        let sessions = drain(&service, &mix, measure_rounds);
+        let secs = start.elapsed().as_secs_f64();
+        scheduled_rate = scheduled_rate.max(sessions as f64 / secs.max(1e-9));
+        scheduled_stats = Some(service.shutdown());
+    }
+    let stats = scheduled_stats.expect("at least one rep ran");
+    report.push(
+        Row::new()
+            .str("row", "sequential-admission")
+            .f1("sessions_per_sec", sequential_rate)
+            .str("note", "one pending session at a time: every admission takes the fast path"),
+    );
+    report.push(
+        Row::new()
+            .str("row", "scheduled-admission")
+            .f1("sessions_per_sec", scheduled_rate)
+            .int("scheduled_admissions", stats.scheduled_admissions)
+            .int("signatures", stats.signatures as u64)
+            .str("note", "whole stream queued up front: admissions ranked by P2 SJF + aging"),
+    );
+
+    // Epoch reset vs arena reallocation: the O(1) recycle against the O(n)
+    // fresh allocation it replaces.
+    let locations = 1u32 << 16;
+    let arena_workers = 4;
+    let reset_iters = if smoke_mode() { 100 } else { 2_000 };
+    let alloc_iters = if smoke_mode() { 10 } else { 200 };
+    let arena = SessionArena::new(locations, arena_workers, racedet::EpochShadowArena::MAX_GEN_LIMIT);
+    let start = std::time::Instant::now();
+    for _ in 0..reset_iters {
+        arena.recycle();
+    }
+    let reset_ns = start.elapsed().as_nanos() as f64 / f64::from(reset_iters);
+    let start = std::time::Instant::now();
+    for _ in 0..alloc_iters {
+        std::hint::black_box(SessionArena::new(
+            locations,
+            arena_workers,
+            racedet::EpochShadowArena::MAX_GEN_LIMIT,
+        ));
+    }
+    let alloc_ns = start.elapsed().as_nanos() as f64 / f64::from(alloc_iters);
+    let speedup = alloc_ns / reset_ns.max(1e-9);
+    assert!(
+        speedup >= 10.0,
+        "epoch reset must be >=10x cheaper than arena reallocation \
+         (reset {reset_ns:.1} ns vs realloc {alloc_ns:.1} ns, {speedup:.1}x)"
+    );
+    report.push(
+        Row::new()
+            .str("row", "reset-vs-realloc")
+            .int("locations", u64::from(locations))
+            .f1("epoch_reset_ns", reset_ns)
+            .f1("realloc_ns", alloc_ns)
+            .f1("speedup", speedup),
+    );
+
+    report.print();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = service_throughput
+}
+criterion_main!(benches);

@@ -32,6 +32,7 @@
 
 use criterion::{criterion_group, criterion_main, smoke_mode, Criterion, Throughput};
 use parking_lot::Mutex;
+use spbench::{BenchReport, Row};
 use racedet::{
     check_access_per_cell, detect_races, Access, AccessScript, PerCellShadowMemory, RaceReport,
 };
@@ -161,13 +162,17 @@ fn shadow_contention(c: &mut Criterion) {
     // JSON report (captured into BENCH_shadow.json at the repo root): best
     // of `reps` timed runs per cell, so scheduler noise doesn't inflate a row.
     let reps = if smoke_mode() { 1 } else { 5 };
-    println!("\n=== BENCH_shadow.json ===");
-    println!("{{");
-    println!("  \"bench\": \"shadow_contention\",");
-    println!("  \"unit\": \"ns_per_access\",");
-    println!("  \"note\": \"best of {reps} runs; per-cell = one Mutex<ShadowCell> per location (pre-sharding engine), sharded = striped locks + lock-free read fast path + per-thread shard batching\",");
-    println!("  \"results\": [");
-    let mut rows = Vec::new();
+    let mut report = BenchReport::new(
+        "shadow_contention",
+        "shadow",
+        "ns_per_access",
+        &format!(
+            "best of {reps} runs; per-cell = one Mutex<ShadowCell> per location \
+             (pre-sharding engine), sharded = striped locks + lock-free read fast path + \
+             per-thread shard batching"
+        ),
+    )
+    .command("cargo bench -p spbench --bench shadow_contention");
     for scenario in &scenarios {
         let accesses = scenario.script.total_accesses() as u64;
         for (backend, workers) in CONFIGS {
@@ -181,17 +186,18 @@ fn shadow_contention(c: &mut Criterion) {
                 }
                 cells.push(best);
             }
-            let speedup = cells[0] / cells[1];
-            rows.push(format!(
-                "    {{ \"scenario\": \"{}\", \"backend\": \"{}\", \"workers\": {}, \
-                 \"per_cell\": {:.1}, \"sharded\": {:.1}, \"speedup\": {:.2} }}",
-                scenario.name, backend, workers, cells[0], cells[1], speedup
-            ));
+            report.push(
+                Row::new()
+                    .str("scenario", scenario.name)
+                    .str("backend", backend)
+                    .int("workers", workers as u64)
+                    .f1("per_cell", cells[0])
+                    .f1("sharded", cells[1])
+                    .f2("speedup", cells[0] / cells[1]),
+            );
         }
     }
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    report.print();
 }
 
 criterion_group! {

@@ -22,6 +22,9 @@ use spmaint::api::OnTheFlySp;
 use spmaint::run_serial;
 use sptree::tree::{ParseTree, ThreadId};
 
+pub mod report;
+pub use report::{BenchReport, Row};
+
 /// Build an SP structure and return (nanoseconds per thread creation,
 /// nanoseconds per query, bytes per node) — one row of Figure 3.
 pub fn measure_serial_algorithm<A: OnTheFlySp>(tree: &ParseTree, queries: usize) -> (f64, f64, f64) {

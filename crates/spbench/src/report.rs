@@ -1,0 +1,205 @@
+//! Shared emission of the `BENCH_*.json` trailing reports.
+//!
+//! Every bench target ends by printing a JSON document under a
+//! `=== BENCH_<stem>.json ===` marker; the committed `BENCH_*.json` files at
+//! the repository root are captures of that output (and `tests/doc_links.rs`
+//! keeps the ARCHITECTURE.md bench table honest against those stems).  The
+//! document shape is fixed — `bench`, `unit`, `note`, optional
+//! `environment` / `command` / `workload`, then a `results` array of
+//! flat rows — and used to be hand-`println!`ed in each bench.
+//! [`BenchReport`] renders it in one place:
+//!
+//! ```
+//! use spbench::{BenchReport, Row};
+//!
+//! let mut report = BenchReport::new("shadow_contention", "shadow", "ns_per_access", "best of 5");
+//! report.push(Row::new().str("scenario", "hot-read").int("workers", 4).f1("sharded", 12.3));
+//! let doc = report.render();
+//! assert!(doc.contains("\"scenario\": \"hot-read\""));
+//! ```
+//!
+//! No serde in the container, so rendering is by hand — but in *one* place,
+//! with quoting handled once, instead of copy-pasted `println!("{{")` blocks
+//! per bench.
+
+/// One row of the `results` array: fields render in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct Row {
+    fields: Vec<(String, String)>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// A string field (quoted and escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), quote(value)));
+        self
+    }
+
+    /// An integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// A float field rendered with one decimal (the `ns`-scale convention
+    /// of the committed reports).
+    pub fn f1(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), format!("{value:.1}")));
+        self
+    }
+
+    /// A float field rendered with two decimals (the ratio convention).
+    pub fn f2(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), format!("{value:.2}")));
+        self
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("{}: {v}", quote(k))).collect();
+        format!("{{ {} }}", body.join(", "))
+    }
+}
+
+/// A full `BENCH_<stem>.json` document plus its output marker.
+pub struct BenchReport {
+    bench: String,
+    stem: String,
+    unit: String,
+    note: String,
+    environment: Option<String>,
+    command: Option<String>,
+    workload: Vec<(String, String)>,
+    rows: Vec<Row>,
+}
+
+impl BenchReport {
+    /// A report for bench target `bench`, captured at the repository root as
+    /// `BENCH_<stem>.json`, measuring in `unit` (with a free-form `note`).
+    pub fn new(bench: &str, stem: &str, unit: &str, note: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            stem: stem.to_string(),
+            unit: unit.to_string(),
+            note: note.to_string(),
+            environment: None,
+            command: None,
+            workload: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Describe the machine the capture came from.
+    pub fn environment(mut self, environment: &str) -> Self {
+        self.environment = Some(environment.to_string());
+        self
+    }
+
+    /// The command that reproduces the capture.
+    pub fn command(mut self, command: &str) -> Self {
+        self.command = Some(command.to_string());
+        self
+    }
+
+    /// Add one named workload description to the `workload` map.
+    pub fn workload(mut self, name: &str, description: &str) -> Self {
+        self.workload.push((name.to_string(), description.to_string()));
+        self
+    }
+
+    /// Append one result row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Render the JSON document (no marker line).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut field = |key: &str, value: String| {
+            out.push_str(&format!("  {}: {value},\n", quote(key)));
+        };
+        field("bench", quote(&self.bench));
+        field("unit", quote(&self.unit));
+        field("note", quote(&self.note));
+        if let Some(environment) = &self.environment {
+            field("environment", quote(environment));
+        }
+        if let Some(command) = &self.command {
+            field("command", quote(command));
+        }
+        if !self.workload.is_empty() {
+            let entries: Vec<String> = self
+                .workload
+                .iter()
+                .map(|(name, description)| format!("    {}: {}", quote(name), quote(description)))
+                .collect();
+            field("workload", format!("{{\n{}\n  }}", entries.join(",\n")));
+        }
+        out.push_str("  \"results\": [\n");
+        let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", r.render())).collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}");
+        out
+    }
+
+    /// Print the `=== BENCH_<stem>.json ===` marker and the document — the
+    /// trailing output every bench target ends with.
+    pub fn print(&self) {
+        println!("\n=== BENCH_{}.json ===", self.stem);
+        println!("{}", self.render());
+    }
+}
+
+/// Quote a JSON string, escaping the two characters these reports can
+/// actually contain (`"` and `\`); control characters don't appear in bench
+/// labels or notes.
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_committed_document_shape() {
+        let mut report = BenchReport::new("service_throughput", "service", "sessions_per_sec", "n")
+            .environment("test box")
+            .command("cargo bench --bench service_throughput")
+            .workload("fib", "divide and conquer");
+        report.push(Row::new().str("row", "scaling").int("workers", 2).f1("rate", 123.456));
+        report.push(Row::new().str("row", "reset").f2("speedup", 11.5));
+        let doc = report.render();
+        assert!(doc.starts_with("{\n  \"bench\": \"service_throughput\",\n"));
+        assert!(doc.contains("\"unit\": \"sessions_per_sec\""));
+        assert!(doc.contains("\"environment\": \"test box\""));
+        assert!(doc.contains("\"workload\": {\n    \"fib\": \"divide and conquer\"\n  },"));
+        assert!(doc.contains("{ \"row\": \"scaling\", \"workers\": 2, \"rate\": 123.5 },"));
+        assert!(doc.contains("{ \"row\": \"reset\", \"speedup\": 11.50 }"));
+        assert!(doc.ends_with("  ]\n}"));
+    }
+
+    #[test]
+    fn optional_sections_are_omitted_when_unset() {
+        let report = BenchReport::new("b", "b", "u", "n");
+        let doc = report.render();
+        assert!(!doc.contains("environment"));
+        assert!(!doc.contains("command"));
+        assert!(!doc.contains("workload"));
+        assert!(doc.contains("\"results\": [\n\n  ]"), "empty results stay well-formed");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut report = BenchReport::new("b", "b", "u", "a \"quoted\" note");
+        report.push(Row::new().str("label", "back\\slash"));
+        let doc = report.render();
+        assert!(doc.contains("a \\\"quoted\\\" note"));
+        assert!(doc.contains("back\\\\slash"));
+    }
+}

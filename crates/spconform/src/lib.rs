@@ -64,8 +64,13 @@ use workloads::{
 };
 
 pub mod live;
+pub mod service;
 
 pub use live::{check_live_case, minimize_live_failure, run_live_sweep, LiveFailure, LiveSweepStats};
+pub use service::{
+    check_service_case, minimize_service_failure, run_service_sweep, ServiceFailure,
+    ServiceSweepStats,
+};
 
 // ---------------------------------------------------------------------------
 // Program shapes

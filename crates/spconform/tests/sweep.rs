@@ -10,7 +10,7 @@
 //! SPCONFORM_SEED=0x1234 SPCONFORM_CASES=500 cargo test -p spconform --release
 //! ```
 
-use spconform::{run_live_sweep, run_sweep, ShapeKind, SweepConfig};
+use spconform::{run_live_sweep, run_service_sweep, run_sweep, ShapeKind, SweepConfig};
 
 #[test]
 fn differential_sweep_all_shapes() {
@@ -38,6 +38,50 @@ fn differential_sweep_all_shapes() {
                 stats.pair_queries,
                 stats.injected_races,
                 stats.emergent_races,
+                config.base_seed
+            );
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// The service differential sweep: random batches of planted-race programs
+/// submitted as concurrent `spservice` sessions (1-worker and multi-worker
+/// pools, all three deterministic session modes, pooled epoch-reset arenas
+/// with wraparound forced on even seeds) — every session report must be
+/// bit-identical to a standalone run of the same program and mode.  Honors
+/// the same environment variables as the main sweep, so CI covers it under
+/// every seed of the matrix.
+#[test]
+fn service_differential_sweep_all_cilk_shapes() {
+    let config = SweepConfig::from_env();
+    let cilk_shapes = match config.only_shape {
+        Some(shape) => u64::from(shape.is_cilk_form()),
+        None => ShapeKind::ALL.len() as u64 - 1,
+    };
+    match run_service_sweep(&config) {
+        Ok(stats) => {
+            assert_eq!(
+                stats.cases,
+                cilk_shapes * config.cases_per_shape as u64,
+                "every Cilk-form case must run through the service"
+            );
+            assert!(
+                cilk_shapes == 0 || (stats.planted > 0 && stats.epoch_purges > 0),
+                "planted-race and wraparound checks must not be vacuous"
+            );
+            assert_eq!(
+                stats.epoch_resets, stats.sessions,
+                "every session must recycle its arena exactly once"
+            );
+            println!(
+                "service conformance sweep green: {} cases, {} sessions, {} planted races, \
+                 {} epoch resets, {} wraparound purges (seed {:#x})",
+                stats.cases,
+                stats.sessions,
+                stats.planted,
+                stats.epoch_resets,
+                stats.epoch_purges,
                 config.base_seed
             );
         }

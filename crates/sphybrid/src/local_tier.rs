@@ -38,7 +38,10 @@ fn pack(trace: TraceId, kind: BagKind) -> u64 {
 
 fn unpack(word: u64) -> (TraceId, BagKind) {
     let kind = if word & 1 == 1 { BagKind::P } else { BagKind::S };
-    (TraceId((word >> 1) as u32), kind)
+    let trace = u32::try_from(word >> 1).unwrap_or_else(|_| {
+        panic!("bag annotation {word:#x} does not decode to a u32 trace id — the annotation was not produced by this tier's packer")
+    });
+    (TraceId(trace), kind)
 }
 
 /// Shared local tier.
@@ -145,6 +148,12 @@ impl LocalTier {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "does not decode to a u32 trace id")]
+    fn foreign_annotations_panic_instead_of_truncating() {
+        unpack((1u64 << 40) | 1);
+    }
 
     #[test]
     fn pack_unpack_round_trip() {

@@ -34,7 +34,13 @@ impl TraceId {
     /// Decode from a scheduler token.
     #[inline]
     pub fn from_token(token: u64) -> Self {
-        TraceId(token as u32)
+        TraceId(u32::try_from(token).unwrap_or_else(|_| {
+            panic!(
+                "scheduler token {token:#x} is not a trace id: trace ids are \
+                 dense u32 indices, so a larger token means the token plumbing \
+                 handed this maintainer a foreign token"
+            )
+        }))
     }
 }
 
@@ -98,7 +104,7 @@ impl TraceArena {
     /// Append a new trace and return its id.
     pub fn push(&self, eng: ConcurrentOmNode, heb: ConcurrentOmNode) -> TraceId {
         let mut traces = self.traces.write();
-        let id = TraceId(traces.len() as u32);
+        let id = next_trace_id(traces.len());
         traces.push(Arc::new(TraceState {
             eng,
             heb,
@@ -108,9 +114,38 @@ impl TraceArena {
     }
 }
 
+/// Checked id for the next appended trace: trace ids are dense `u32`
+/// indices (4·steals + 1 traces per run), so a registry past `u32::MAX`
+/// entries must fail loudly, not wrap into an existing trace's id.
+fn next_trace_id(len: usize) -> TraceId {
+    TraceId(u32::try_from(len).unwrap_or_else(|_| {
+        panic!("{len} traces already exist, which exceeds the u32 trace-id space")
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_ids_and_tokens_are_checked() {
+        assert_eq!(TraceId::from_token(7).0, 7);
+        assert_eq!(TraceId::from_token(u64::from(u32::MAX)).0, u32::MAX);
+        assert_eq!(next_trace_id(0), TraceId(0));
+        assert_eq!(next_trace_id(u32::MAX as usize), TraceId(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a trace id")]
+    fn foreign_tokens_panic_instead_of_truncating() {
+        TraceId::from_token(1 << 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 trace-id space")]
+    fn trace_registry_overflow_panics_instead_of_wrapping() {
+        next_trace_id(u32::MAX as usize + 1);
+    }
 
     #[test]
     fn arena_starts_with_root_trace_and_grows() {

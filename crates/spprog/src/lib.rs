@@ -70,7 +70,10 @@ pub(crate) mod unfold;
 
 pub use program::{build_proc, Proc, ProcBuilder, SpawnFn, StepFn};
 pub use record::{record_program, Recorded};
-pub use runtime::{run_program, run_uninstrumented, LiveMaintainer, LiveRun, RunConfig, StepCtx};
+pub use runtime::{
+    run_program, run_session, run_uninstrumented, LiveMaintainer, LiveRun, RunConfig, SessionMode,
+    SessionRun, StepCtx,
+};
 pub use unfold::Meta;
 
 #[cfg(test)]

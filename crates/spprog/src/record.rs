@@ -106,17 +106,39 @@ pub fn record_program(prog: &Proc, locations: u32) -> Recorded {
     debug_assert_eq!(tree.num_threads() as u64, threads);
     let mut script = AccessScript::new(tree.num_threads(), locations);
     for (t, accesses) in recorder.accesses.iter().enumerate() {
+        let thread = recorded_thread_id(t);
         for &access in accesses {
-            script.push(ThreadId(t as u32), access);
+            script.push(thread, access);
         }
     }
     Recorded { tree, script }
+}
+
+/// Checked conversion of a recorder slot index into a dense [`ThreadId`]:
+/// thread ids are `u32` everywhere downstream, so a recording that somehow
+/// executed more threads must fail loudly, not wrap into a colliding id.
+fn recorded_thread_id(t: usize) -> ThreadId {
+    ThreadId(u32::try_from(t).unwrap_or_else(|_| {
+        panic!("recorded program executed more than {} threads, which exceeds the u32 thread-id space", u32::MAX)
+    }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::program::build_proc;
+
+    #[test]
+    fn recorded_thread_ids_are_checked() {
+        assert_eq!(recorded_thread_id(0), ThreadId(0));
+        assert_eq!(recorded_thread_id(u32::MAX as usize), ThreadId(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 thread-id space")]
+    fn oversized_recordings_panic_instead_of_wrapping_thread_ids() {
+        recorded_thread_id(u32::MAX as usize + 1);
+    }
 
     #[test]
     fn recorded_tree_matches_the_cilk_lowering_shape() {

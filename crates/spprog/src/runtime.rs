@@ -29,7 +29,7 @@ use forkrt::{
     Token,
 };
 use parking_lot::Mutex;
-use racedet::{Access, LiveDetector, RaceReport};
+use racedet::{Access, DetectionSink, LiveDetector, RaceReport};
 use spmaint::api::{CurrentSpQuery, SpQuery};
 use spmaint::stream::{StreamNode, StreamingSpBackend, StreamingSpOrder};
 use sphybrid::live::{LiveHybridConfig, LiveSpHybrid};
@@ -44,7 +44,7 @@ use crate::unfold::{LiveCilk, Meta};
 // ---------------------------------------------------------------------------
 
 enum MemRef<'a> {
-    Detector(&'a LiveDetector),
+    Sink(&'a dyn DetectionSink),
     Raw(&'a [AtomicU64]),
 }
 
@@ -67,7 +67,7 @@ impl StepCtx<'_> {
             t.push(Access::read(loc));
         }
         match &self.mem {
-            MemRef::Detector(d) => d.read(loc),
+            MemRef::Sink(d) => d.read(loc),
             MemRef::Raw(v) => raw_cell(v, loc).load(Ordering::Relaxed),
         }
     }
@@ -78,7 +78,7 @@ impl StepCtx<'_> {
             t.push(Access::write(loc));
         }
         match &self.mem {
-            MemRef::Detector(d) => d.write(loc, value),
+            MemRef::Sink(d) => d.write(loc, value),
             MemRef::Raw(v) => raw_cell(v, loc).store(value, Ordering::Relaxed),
         }
     }
@@ -102,7 +102,7 @@ pub(crate) fn record_step_ctx<'a>(
     buf: &'a mut Vec<Access>,
 ) -> StepCtx<'a> {
     StepCtx {
-        mem: MemRef::Detector(detector),
+        mem: MemRef::Sink(detector),
         trace: Some(buf),
     }
 }
@@ -187,6 +187,58 @@ impl RunConfig {
     }
 }
 
+/// How a *session* executes when driven by an external [`DetectionSink`]
+/// (see [`run_session`]).  Unlike [`RunConfig`], the mode names the SP
+/// maintainer explicitly even for one worker, because a multi-session
+/// service needs deterministic per-session execution under **every**
+/// maintainer: `Hybrid { workers: 1 }` runs the live SP-hybrid on the
+/// work-stealing scheduler with a single worker (no steals can occur, so
+/// the run — thread ids, queries, report — is deterministic), which
+/// [`run_program`] never does (it elides `workers == 1` to [`Serial`]).
+///
+/// [`Serial`]: SessionMode::Serial
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionMode {
+    /// Serial elision on the calling thread with the streaming SP-order —
+    /// deterministic, bit-identical to offline serial detection.
+    Serial,
+    /// Live two-tier SP-hybrid on `workers` workers (deterministic iff
+    /// `workers == 1`).
+    Hybrid {
+        /// Worker threads (clamped to ≥ 1).
+        workers: usize,
+    },
+    /// Naive-locked shared streaming SP-order on `workers` workers
+    /// (deterministic iff `workers == 1`).
+    NaiveLocked {
+        /// Worker threads (clamped to ≥ 1).
+        workers: usize,
+    },
+}
+
+/// Outcome of a sessionized run ([`run_session`]): everything a
+/// [`LiveRun`] reports *except* the race report, which lives in the
+/// caller-owned [`DetectionSink`].
+#[derive(Debug)]
+pub struct SessionRun {
+    /// Threads (SP parse-tree leaves) executed.
+    pub threads: u64,
+    /// Successful steals (0 for serial runs).
+    pub steals: u64,
+    /// Traces at the end (4·steals + 1 for SP-hybrid; 1 otherwise).
+    pub traces: usize,
+    /// Workers the run actually used.
+    pub workers: usize,
+    /// Which maintainer answered the SP queries.
+    pub maintainer: &'static str,
+    /// Approximate heap bytes of the SP structures (not the detector).
+    pub sp_space_bytes: usize,
+    /// Substrate chunks published beyond the initial hints during the run.
+    pub sp_grow_events: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
 /// Outcome of an instrumented live run.
 #[derive(Debug)]
 pub struct LiveRun {
@@ -217,7 +269,7 @@ pub struct LiveRun {
 
 struct SerialRunVisitor<'a> {
     sp: StreamingSpOrder,
-    detector: &'a LiveDetector,
+    sink: &'a dyn DetectionSink,
     next_thread: u32,
     buf: Vec<Access>,
 }
@@ -235,37 +287,33 @@ impl SerialLiveVisitor<LiveCilk> for SerialRunVisitor<'_> {
         self.buf.clear();
         if let Some(step) = &meta.step {
             step(&mut StepCtx {
-                mem: MemRef::Detector(self.detector),
+                mem: MemRef::Sink(self.sink),
                 trace: Some(&mut self.buf),
             });
         }
-        self.detector.check_thread(&self.sp, thread, &self.buf);
+        self.sink.check_thread(&self.sp, thread, &self.buf);
     }
 }
 
-fn run_serial(prog: &Proc, config: &RunConfig) -> LiveRun {
+fn run_serial_with(prog: &Proc, sink: &dyn DetectionSink) -> SessionRun {
     let program = LiveCilk::new(prog);
-    let detector = LiveDetector::new(config.locations, 1);
     let (sp, root) = StreamingSpOrder::stream_new();
     let mut visitor = SerialRunVisitor {
         sp,
-        detector: &detector,
+        sink,
         next_thread: 0,
         buf: Vec::new(),
     };
     let start = Instant::now();
     let threads = run_live_serial(&program, &mut visitor, root.to_tag());
     let elapsed = start.elapsed();
-    let (maintainer, sp_space_bytes) = (visitor.sp.stream_name(), visitor.sp.stream_space_bytes());
-    drop(visitor);
-    LiveRun {
-        report: detector.into_report(),
+    SessionRun {
         threads,
         steals: 0,
         traces: 1,
         workers: 1,
-        maintainer,
-        sp_space_bytes,
+        maintainer: visitor.sp.stream_name(),
+        sp_space_bytes: visitor.sp.stream_space_bytes(),
         sp_grow_events: 0,
         elapsed,
     }
@@ -288,7 +336,7 @@ impl CurrentSpQuery for HybridView<'_> {
 
 struct HybridRunVisitor<'a> {
     hybrid: &'a LiveSpHybrid,
-    detector: &'a LiveDetector,
+    sink: &'a dyn DetectionSink,
     next_thread: &'a AtomicU32,
     /// Per-worker access buffers, reused across leaves (indexed by worker;
     /// each lock is only ever taken by its own worker, so it is uncontended).
@@ -305,11 +353,11 @@ impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
         buf.clear();
         if let Some(step) = &meta.step {
             step(&mut StepCtx {
-                mem: MemRef::Detector(self.detector),
+                mem: MemRef::Sink(self.sink),
                 trace: Some(&mut buf),
             });
         }
-        self.detector.check_thread(
+        self.sink.check_thread(
             &HybridView {
                 hybrid: self.hybrid,
                 trace,
@@ -342,17 +390,21 @@ impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
     }
 }
 
-fn run_parallel_hybrid(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRun {
+fn run_hybrid_with(
+    prog: &Proc,
+    workers: usize,
+    hints: (usize, usize),
+    sink: &dyn DetectionSink,
+) -> SessionRun {
     let program = LiveCilk::new(prog);
-    let detector = LiveDetector::new(config.locations, workers);
     let hybrid = LiveSpHybrid::new(LiveHybridConfig {
-        max_threads: config.max_threads,
-        max_steals: config.max_steals,
+        max_threads: hints.0,
+        max_steals: hints.1,
     });
     let next_thread = AtomicU32::new(0);
     let visitor = HybridRunVisitor {
         hybrid: &hybrid,
-        detector: &detector,
+        sink,
         next_thread: &next_thread,
         bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
     };
@@ -363,8 +415,7 @@ fn run_parallel_hybrid(prog: &Proc, config: &RunConfig, workers: usize) -> LiveR
         0,
         hybrid.root_trace().to_token(),
     );
-    LiveRun {
-        report: detector.into_report(),
+    SessionRun {
         threads: stats.total_threads(),
         steals: stats.steals,
         traces: hybrid.num_traces(),
@@ -400,7 +451,7 @@ impl CurrentSpQuery for NaiveView<'_> {
 
 struct NaiveRunVisitor<'a> {
     shared: &'a NaiveShared,
-    detector: &'a LiveDetector,
+    sink: &'a dyn DetectionSink,
     next_thread: &'a AtomicU32,
     /// Per-worker access buffers, reused across leaves.
     bufs: Vec<Mutex<Vec<Access>>>,
@@ -433,11 +484,11 @@ impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
         buf.clear();
         if let Some(step) = &meta.step {
             step(&mut StepCtx {
-                mem: MemRef::Detector(self.detector),
+                mem: MemRef::Sink(self.sink),
                 trace: Some(&mut buf),
             });
         }
-        self.detector.check_thread(
+        self.sink.check_thread(
             &NaiveView {
                 shared: self.shared,
                 current: thread,
@@ -456,15 +507,14 @@ impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
     }
 }
 
-fn run_parallel_naive(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRun {
+fn run_naive_with(prog: &Proc, workers: usize, sink: &dyn DetectionSink) -> SessionRun {
     let program = LiveCilk::new(prog);
-    let detector = LiveDetector::new(config.locations, workers);
     let (sp, root) = StreamingSpOrder::stream_new();
     let shared = NaiveShared { sp: Mutex::new(sp) };
     let next_thread = AtomicU32::new(0);
     let visitor = NaiveRunVisitor {
         shared: &shared,
-        detector: &detector,
+        sink,
         next_thread: &next_thread,
         bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
     };
@@ -476,8 +526,7 @@ fn run_parallel_naive(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRu
         0,
     );
     let sp = shared.sp.into_inner();
-    LiveRun {
-        report: detector.into_report(),
+    SessionRun {
         threads: stats.total_threads(),
         steals: stats.steals,
         traces: 1,
@@ -493,6 +542,32 @@ fn run_parallel_naive(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRu
 // Entry points
 // ---------------------------------------------------------------------------
 
+/// Execute a live program as a *session* over a caller-owned
+/// [`DetectionSink`] — the reentrant entry point the multi-session
+/// `spservice` layer is built on.
+///
+/// [`run_program`] owns its detector for the life of one run; this function
+/// instead borrows whatever sink the caller hands it (a fresh
+/// [`LiveDetector`], or a service sink multiplexing recycled epoch-reset
+/// arenas), so any number of sessions can execute back to back — or
+/// concurrently, each over its own sink — in one process.  Races land in
+/// the sink; everything else about the run comes back as a [`SessionRun`].
+///
+/// [`SessionMode::Serial`] and both 1-worker scheduler modes are
+/// deterministic: same program + same mode ⇒ bit-identical accesses,
+/// thread ids, and report.
+pub fn run_session(prog: &Proc, mode: SessionMode, sink: &dyn DetectionSink) -> SessionRun {
+    let hints = {
+        let d = RunConfig::default();
+        (d.max_threads, d.max_steals)
+    };
+    match mode {
+        SessionMode::Serial => run_serial_with(prog, sink),
+        SessionMode::Hybrid { workers } => run_hybrid_with(prog, workers.max(1), hints, sink),
+        SessionMode::NaiveLocked { workers } => run_naive_with(prog, workers.max(1), sink),
+    }
+}
+
 /// Execute a live program with on-the-fly SP maintenance and online race
 /// detection; races are detected *while the program runs*, with no
 /// materialized parse tree anywhere on this path.
@@ -500,13 +575,26 @@ fn run_parallel_naive(prog: &Proc, config: &RunConfig, workers: usize) -> LiveRu
 /// See the crate-level documentation for a complete example.
 pub fn run_program(prog: &Proc, config: &RunConfig) -> LiveRun {
     let workers = config.workers.max(1);
-    if workers == 1 {
-        run_serial(prog, config)
+    let detector = LiveDetector::new(config.locations, workers);
+    let hints = (config.max_threads, config.max_steals);
+    let stats = if workers == 1 {
+        run_serial_with(prog, &detector)
     } else {
         match config.maintainer {
-            LiveMaintainer::Hybrid => run_parallel_hybrid(prog, config, workers),
-            LiveMaintainer::NaiveLocked => run_parallel_naive(prog, config, workers),
+            LiveMaintainer::Hybrid => run_hybrid_with(prog, workers, hints, &detector),
+            LiveMaintainer::NaiveLocked => run_naive_with(prog, workers, &detector),
         }
+    };
+    LiveRun {
+        report: detector.into_report(),
+        threads: stats.threads,
+        steals: stats.steals,
+        traces: stats.traces,
+        workers: stats.workers,
+        maintainer: stats.maintainer,
+        sp_space_bytes: stats.sp_space_bytes,
+        sp_grow_events: stats.sp_grow_events,
+        elapsed: stats.elapsed,
     }
 }
 

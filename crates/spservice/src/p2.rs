@@ -1,0 +1,211 @@
+//! P² streaming quantile estimation (Jain & Chlamtac, CACM 1985).
+//!
+//! The admission scheduler needs a running estimate of "how long does a
+//! session with this workload signature take?" without storing the history
+//! of observed runtimes.  The P² algorithm maintains five *markers* — the
+//! minimum, the maximum, the target quantile, and the two quantiles halfway
+//! to either side — and nudges the three interior markers toward their
+//! desired positions after every observation, using a piecewise-parabolic
+//! (hence the name) interpolation of the empirical distribution.  O(1) time
+//! and O(1) space per observation, no buffers.
+//!
+//! Until five observations exist the estimator is exact: it keeps the
+//! observations in a sorted bootstrap buffer and answers from it directly.
+
+/// Number of P² markers.
+const M: usize = 5;
+
+/// A streaming estimator of one quantile of a scalar distribution.
+///
+/// The service uses the median (`p = 0.5`) of observed session runtimes per
+/// workload signature as the shortest-job-first cost estimate — the median
+/// is robust to the occasional wildly slow outlier run, which a mean would
+/// let poison the schedule.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    p: f64,
+    /// Observations seen so far.
+    count: u64,
+    /// Marker heights (estimated quantile values), ascending.
+    heights: [f64; M],
+    /// Actual marker positions, 1-based ranks in the stream.
+    positions: [f64; M],
+    /// Desired marker positions.
+    desired: [f64; M],
+    /// Per-observation increments of the desired positions.
+    rates: [f64; M],
+}
+
+impl P2Quantile {
+    /// An estimator of the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be strictly inside (0, 1), got {p}");
+        P2Quantile {
+            p,
+            count: 0,
+            heights: [0.0; M],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            rates: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// The median estimator (`p = 0.5`).
+    pub fn median() -> Self {
+        P2Quantile::new(0.5)
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold in one observation.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "observations must be finite, got {x}");
+        if self.count < M as u64 {
+            // Bootstrap: collect the first five observations sorted; they
+            // become the initial marker heights.
+            let k = self.count as usize;
+            self.heights[k] = x;
+            self.heights[..=k].sort_by(f64::total_cmp);
+            self.count += 1;
+            return;
+        }
+        self.count += 1;
+
+        // Which cell does x fall into?  Also stretch the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[M - 1] {
+            self.heights[M - 1] = x;
+            M - 2
+        } else {
+            // heights[k] <= x < heights[k + 1]
+            (1..M - 1).rfind(|&i| self.heights[i] <= x).unwrap_or(0)
+        };
+
+        // All markers above the cell shift one rank right.
+        for i in (k + 1)..M {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..M {
+            self.desired[i] += self.rates[i];
+        }
+
+        // Nudge interior markers toward their desired positions.
+        for i in 1..M - 1 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic prediction of marker `i`'s height after moving
+    /// `d` (±1) ranks.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola would leave the bracketing heights.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the quantile; `None` before any observation.
+    pub fn quantile(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c < M as u64 => {
+                // Bootstrap buffer is sorted: answer the empirical quantile.
+                let k = (self.p * (c as f64 - 1.0)).round() as usize;
+                Some(self.heights[k.min(c as usize - 1)])
+            }
+            _ => Some(self.heights[M / 2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_answers_none() {
+        assert_eq!(P2Quantile::median().quantile(), None);
+        assert_eq!(P2Quantile::median().count(), 0);
+    }
+
+    #[test]
+    fn bootstrap_phase_is_exact() {
+        let mut q = P2Quantile::median();
+        for x in [5.0, 1.0, 3.0] {
+            q.observe(x);
+        }
+        assert_eq!(q.quantile(), Some(3.0), "exact median of {{1, 3, 5}}");
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn converges_to_the_median_of_a_uniform_stream() {
+        let mut q = P2Quantile::median();
+        // Deterministic LCG stream, uniform over [0, 1000).
+        let mut state = 0x5EED_u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.observe((state >> 33) as f64 % 1000.0);
+        }
+        let est = q.quantile().unwrap();
+        assert!(
+            (est - 500.0).abs() < 50.0,
+            "median of uniform [0, 1000) must be near 500, got {est}"
+        );
+    }
+
+    #[test]
+    fn converges_on_a_skewed_stream() {
+        // 90% fast sessions (~10), 10% slow (~1000): the median must track
+        // the fast mode, not the mean (~109).
+        let mut q = P2Quantile::median();
+        for i in 0..5_000u64 {
+            q.observe(if i % 10 == 9 { 1000.0 } else { 10.0 });
+        }
+        let est = q.quantile().unwrap();
+        assert!(est < 50.0, "median must sit in the fast mode, got {est}");
+    }
+
+    #[test]
+    fn tracks_other_quantiles() {
+        let mut q = P2Quantile::new(0.9);
+        for i in 0..10_000u64 {
+            q.observe((i % 100) as f64);
+        }
+        let est = q.quantile().unwrap();
+        assert!((est - 89.0).abs() < 5.0, "p90 of 0..100 must be near 89, got {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn degenerate_quantiles_are_rejected() {
+        P2Quantile::new(1.0);
+    }
+}

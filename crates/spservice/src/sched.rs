@@ -1,0 +1,178 @@
+//! Admission scheduling: workload signatures, P²-keyed runtime estimates,
+//! shortest-job-first selection with starvation aging.
+//!
+//! The service cannot know how long a session will run, but sessions with
+//! similar *shape* take similar time: the scheduler buckets each submitted
+//! program by a static [`WorkloadSignature`] (log₂ buckets of its statement
+//! count, spawn-block count, and location count — all readable off the
+//! [`Proc`] without executing anything) and keeps one streaming
+//! [`P2Quantile`] median of observed runtimes per bucket.  Admission picks
+//! the pending session with the smallest *effective* cost
+//!
+//! ```text
+//! effective(s) = estimate_ns(signature(s)) − aging · waited_ns(s)
+//! ```
+//!
+//! — plain shortest-job-first, except that every nanosecond a session waits
+//! buys down its cost, so a long job behind a stream of short ones is
+//! admitted after bounded delay instead of starving (with `aging = 1`, at
+//! latest once it has waited its own estimate).  Ties fall back to arrival
+//! order.  When at most one session is pending the queue skips the scoring
+//! walk entirely (the *sequential mode* fast path — a service draining a
+//! batch one at a time pays no scheduling overhead at all).
+
+use std::collections::HashMap;
+
+use spprog::Proc;
+
+use crate::p2::P2Quantile;
+
+/// Static shape bucket of a submitted program: log₂ buckets of the feature
+/// counts, so "fib(18)" and "fib(19)" share a bucket while "fib(18)" and a
+/// 3-step chain do not.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WorkloadSignature {
+    /// log₂ bucket of the statement count (step + spawn + sync statements —
+    /// the access-count proxy available without running the program).
+    pub statements_log2: u32,
+    /// log₂ bucket of the sync-block count (the spawn-structure proxy).
+    pub blocks_log2: u32,
+    /// log₂ bucket of the shared-location count.
+    pub locations_log2: u32,
+}
+
+impl WorkloadSignature {
+    /// Signature of one session request.
+    pub fn of(prog: &Proc, locations: u32) -> Self {
+        let bucket = |n: usize| n.max(1).ilog2();
+        WorkloadSignature {
+            statements_log2: bucket(prog.num_statements()),
+            blocks_log2: bucket(prog.num_blocks()),
+            locations_log2: bucket(locations as usize),
+        }
+    }
+}
+
+/// Streaming runtime estimates: one P² median per signature, plus a global
+/// median that prices never-seen signatures.
+#[derive(Default)]
+pub struct RuntimeEstimator {
+    per_sig: HashMap<WorkloadSignature, P2Quantile>,
+    global: Option<P2Quantile>,
+}
+
+impl RuntimeEstimator {
+    /// An estimator with no observations.
+    pub fn new() -> Self {
+        RuntimeEstimator::default()
+    }
+
+    /// Fold in one completed session's wall-clock nanoseconds.
+    pub fn observe(&mut self, sig: WorkloadSignature, ns: f64) {
+        self.per_sig.entry(sig).or_insert_with(P2Quantile::median).observe(ns);
+        self.global.get_or_insert_with(P2Quantile::median).observe(ns);
+    }
+
+    /// Estimated nanoseconds for a session with signature `sig`: the
+    /// bucket's median if the bucket has history, the global median if any
+    /// session has ever completed, and 0 otherwise (an unknown workload is
+    /// admitted eagerly — running it is the only way to learn its cost).
+    pub fn estimate_ns(&self, sig: WorkloadSignature) -> f64 {
+        self.per_sig
+            .get(&sig)
+            .and_then(P2Quantile::quantile)
+            .or_else(|| self.global.as_ref().and_then(P2Quantile::quantile))
+            .unwrap_or(0.0)
+    }
+
+    /// Distinct signatures with history.
+    pub fn signatures(&self) -> usize {
+        self.per_sig.len()
+    }
+}
+
+/// Pick the pending session to admit: index of the entry minimizing
+/// `estimate_ns − aging · waited_ns`, ties to the earliest-queued entry.
+/// `entries` is `(estimate_ns, waited_ns)` in arrival order.
+///
+/// Callers only invoke this with ≥ 2 pending entries — a shorter queue
+/// takes the sequential-mode fast path and skips the scoring walk.
+pub fn select_session(entries: &[(f64, f64)], aging: f64) -> usize {
+    let mut best = 0;
+    let mut best_cost = f64::INFINITY;
+    for (i, &(estimate, waited)) in entries.iter().enumerate() {
+        let cost = estimate - aging * waited;
+        // Strict `<`: arrival order wins ties.
+        if cost < best_cost {
+            best = i;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spprog::build_proc;
+
+    fn chain(steps: usize) -> Proc {
+        build_proc(|p| {
+            for _ in 0..steps {
+                p.step(|m| {
+                    m.write(0, 1);
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn signatures_bucket_by_magnitude_not_exact_size() {
+        let sig = |steps, locs| WorkloadSignature::of(&chain(steps), locs);
+        assert_eq!(sig(16, 8), sig(17, 8), "nearby sizes share a bucket");
+        assert_ne!(sig(16, 8), sig(500, 8), "different magnitudes do not");
+        assert_ne!(sig(16, 8), sig(16, 512), "locations are a feature");
+    }
+
+    #[test]
+    fn estimator_prefers_bucket_history_over_global() {
+        let mut est = RuntimeEstimator::new();
+        let fast = WorkloadSignature::of(&chain(4), 8);
+        let slow = WorkloadSignature::of(&chain(400), 8);
+        for _ in 0..10 {
+            est.observe(fast, 100.0);
+            est.observe(slow, 10_000.0);
+        }
+        assert!(est.estimate_ns(fast) < 1_000.0);
+        assert!(est.estimate_ns(slow) > 5_000.0);
+        assert_eq!(est.signatures(), 2);
+        // A never-seen signature is priced at the global median, which sits
+        // between the two modes.
+        let unseen = WorkloadSignature::of(&chain(40), 512);
+        let global = est.estimate_ns(unseen);
+        assert!((100.0..=10_000.0).contains(&global), "got {global}");
+    }
+
+    #[test]
+    fn unknown_workloads_are_admitted_eagerly() {
+        let est = RuntimeEstimator::new();
+        assert_eq!(est.estimate_ns(WorkloadSignature::of(&chain(4), 8)), 0.0);
+    }
+
+    #[test]
+    fn selection_is_shortest_job_first() {
+        // Three sessions, none has waited: the cheapest wins.
+        assert_eq!(select_session(&[(300.0, 0.0), (100.0, 0.0), (200.0, 0.0)], 1.0), 1);
+        // Ties go to arrival order.
+        assert_eq!(select_session(&[(100.0, 0.0), (100.0, 0.0)], 1.0), 0);
+    }
+
+    #[test]
+    fn aging_prevents_starvation() {
+        // The expensive session has waited long enough to out-prioritize a
+        // fresh cheap one: estimate 10_000 − waited 9_950 < estimate 100.
+        assert_eq!(select_session(&[(10_000.0, 9_950.0), (100.0, 0.0)], 1.0), 0);
+        // With aging disabled it would starve forever.
+        assert_eq!(select_session(&[(10_000.0, 9_950.0), (100.0, 0.0)], 0.0), 1);
+    }
+}

@@ -1,0 +1,573 @@
+//! The [`DetectionService`]: a pool of detector workers draining an
+//! admission queue of [`spprog`] sessions over pooled recycled arenas.
+//!
+//! Life of a session: [`DetectionService::submit`] computes its
+//! [`WorkloadSignature`] and enqueues it; a detector worker admits it
+//! (shortest-job-first with aging when ≥ 2 sessions are pending, the
+//! sequential fast path otherwise), leases a [`SessionArena`] from the pool
+//! (growing or creating one only on a pool miss), executes the program via
+//! [`spprog::run_session`] over the arena-backed sink, folds the observed
+//! runtime into the P² estimator for its signature, recycles the arena with
+//! one generation bump, and fulfills the caller's [`SessionHandle`].
+//!
+//! Per-session execution is deterministic ([`SessionMode::Serial`] by
+//! default), so every session's race report is **bit-identical** to a
+//! standalone [`spprog::run_program`] of the same program — the service's
+//! concurrency lives *between* sessions, not inside them.  The `spconform`
+//! service sweep enforces exactly that equivalence on randomized batches.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use racedet::RaceReport;
+use spprog::{run_session, Proc, SessionMode, SessionRun};
+
+use crate::arena::SessionArena;
+use crate::sched::{select_session, RuntimeEstimator, WorkloadSignature};
+
+/// Environment knob naming the detector worker count.
+pub const WORKERS_ENV: &str = "SP_SERVICE_WORKERS";
+
+/// Validate an `SP_SERVICE_WORKERS` override: unset/empty keeps `default`;
+/// anything else must parse to a positive worker count (clamped to 512) or
+/// the service refuses to start, naming the knob.
+///
+/// Same contract as `om::concurrent::parse_chunk_env`, the workspace's
+/// pattern for environment knobs: a typo'd override must fail loudly at
+/// startup, never silently fall back to a default.
+pub fn parse_workers_env(value: Option<&str>, default: usize) -> usize {
+    let chosen = match value.map(str::trim) {
+        None | Some("") => default,
+        Some(raw) => {
+            let n: usize = raw.parse().unwrap_or_else(|_| {
+                panic!("{WORKERS_ENV}: unparseable value {raw:?} (expected a positive worker count)")
+            });
+            assert!(n > 0, "{WORKERS_ENV}: worker count must be positive, got 0");
+            n
+        }
+    };
+    chosen.clamp(1, 512)
+}
+
+/// Configuration of a [`DetectionService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Detector worker threads draining the admission queue.
+    pub workers: usize,
+    /// Execution mode of sessions submitted via [`DetectionService::submit`]
+    /// ([`DetectionService::submit_with`] overrides per session).  The
+    /// default, [`SessionMode::Serial`], is deterministic — required for the
+    /// bit-identical-to-standalone guarantee.
+    pub mode: SessionMode,
+    /// Initial arena sizing (arenas grow on demand past it).
+    pub locations_hint: u32,
+    /// Epoch generation space per arena: recycles before a wraparound purge.
+    /// Tests use tiny values to exercise wraparound; keep the default
+    /// otherwise.
+    pub gen_limit: u32,
+    /// Starvation aging: estimate-nanoseconds forgiven per waited
+    /// nanosecond.  1.0 bounds any session's extra wait by its own
+    /// estimate; 0.0 is pure (starvation-prone) shortest-job-first.
+    pub aging: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            mode: SessionMode::Serial,
+            locations_hint: 64,
+            gen_limit: racedet::EpochShadowArena::MAX_GEN_LIMIT,
+            aging: 1.0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A service with `workers` detector workers and default everything else.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Worker count from the validated [`WORKERS_ENV`] knob, `default` when
+    /// unset.  Panics (naming the knob) on unparseable or zero overrides.
+    pub fn workers_from_env(default: usize) -> usize {
+        parse_workers_env(std::env::var(WORKERS_ENV).ok().as_deref(), default)
+    }
+}
+
+/// Everything one finished session reports back.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Races found — bit-identical to a standalone run of the same program
+    /// in the same (deterministic) mode.
+    pub report: RaceReport,
+    /// Execution statistics from [`spprog::run_session`].
+    pub run: SessionRun,
+    /// Mode the session executed under.
+    pub mode: SessionMode,
+    /// The scheduler's cost estimate at admission (0 for unknown
+    /// signatures), in nanoseconds.
+    pub estimated_ns: f64,
+    /// True if the session was admitted through the ≤1-pending sequential
+    /// fast path rather than the scored shortest-job-first walk.
+    pub sequential_admission: bool,
+}
+
+/// Waitable handle to a submitted session.
+pub struct SessionHandle {
+    slot: Arc<OutcomeSlot>,
+}
+
+impl SessionHandle {
+    /// Block until the session completes and return its outcome.
+    pub fn wait(self) -> SessionOutcome {
+        let mut done = self.slot.done.lock().expect("outcome mutex poisoned");
+        loop {
+            if let Some(outcome) = done.take() {
+                return outcome;
+            }
+            done = self.slot.cv.wait(done).expect("outcome mutex poisoned");
+        }
+    }
+}
+
+struct OutcomeSlot {
+    done: Mutex<Option<SessionOutcome>>,
+    cv: Condvar,
+}
+
+/// Counters of one service's lifetime, returned by
+/// [`DetectionService::shutdown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Sessions completed.
+    pub sessions: u64,
+    /// O(1) epoch resets that recycled an arena (vs. allocating a fresh one).
+    pub epoch_resets: u64,
+    /// Amortized wraparound purges across all arenas.
+    pub epoch_purges: u64,
+    /// Arenas actually allocated (pool misses — the service's whole point is
+    /// keeping this far below `sessions`).
+    pub arenas_created: u64,
+    /// Sessions admitted via the ≤1-pending sequential fast path.
+    pub sequential_admissions: u64,
+    /// Sessions admitted via the scored shortest-job-first walk.
+    pub scheduled_admissions: u64,
+    /// Distinct workload signatures with runtime history.
+    pub signatures: usize,
+}
+
+struct Queued {
+    prog: Proc,
+    locations: u32,
+    mode: SessionMode,
+    sig: WorkloadSignature,
+    enqueued: Instant,
+    slot: Arc<OutcomeSlot>,
+}
+
+struct State {
+    queue: VecDeque<Queued>,
+    estimator: RuntimeEstimator,
+    /// Free arenas, largest last (so the pool reuses the roomiest first).
+    pool: Vec<SessionArena>,
+    arenas_created: u64,
+    sequential_admissions: u64,
+    scheduled_admissions: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    sessions: AtomicU64,
+    config: ServiceConfig,
+}
+
+/// A multi-session race-detection service (see the module docs).
+///
+/// ```
+/// use spprog::{build_proc, run_program, RunConfig};
+/// use spservice::{DetectionService, ServiceConfig};
+///
+/// // Two children write the same location in parallel: a determinacy race.
+/// let racy = build_proc(|p| {
+///     p.spawn(|c| { c.step(|m| m.write(1, 10)); });
+///     p.spawn(|c| { c.step(|m| m.write(1, 20)); });
+///     p.sync();
+/// });
+/// let standalone = run_program(&racy, &RunConfig::serial(2));
+///
+/// // Four concurrent sessions of the same program on two detector workers:
+/// // every report is bit-identical to the standalone run.
+/// let service = DetectionService::new(ServiceConfig::with_workers(2));
+/// let handles: Vec<_> = (0..4).map(|_| service.submit(&racy, 2)).collect();
+/// for handle in handles {
+///     let outcome = handle.wait();
+///     assert_eq!(outcome.report.races(), standalone.report.races());
+/// }
+/// let stats = service.shutdown();
+/// assert_eq!(stats.sessions, 4);
+/// assert!(stats.arenas_created <= 2, "arenas are recycled, not reallocated");
+/// ```
+pub struct DetectionService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DetectionService {
+    /// Start a service: spawns `config.workers` detector worker threads.
+    pub fn new(config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            workers: config.workers.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                estimator: RuntimeEstimator::new(),
+                pool: Vec::new(),
+                arenas_created: 0,
+                sequential_admissions: 0,
+                scheduled_admissions: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            sessions: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        DetectionService { shared, workers }
+    }
+
+    /// Submit a program as a session over `locations` shared locations,
+    /// executing under the service's default mode.
+    pub fn submit(&self, prog: &Proc, locations: u32) -> SessionHandle {
+        self.submit_with(prog, locations, self.shared.config.mode)
+    }
+
+    /// Submit with an explicit per-session [`SessionMode`].
+    pub fn submit_with(&self, prog: &Proc, locations: u32, mode: SessionMode) -> SessionHandle {
+        let slot = Arc::new(OutcomeSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let queued = Queued {
+            prog: prog.clone(),
+            locations,
+            mode,
+            sig: WorkloadSignature::of(prog, locations),
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        {
+            let mut state = self.lock_state();
+            assert!(!state.shutdown, "cannot submit to a service that is shutting down");
+            state.queue.push_back(queued);
+        }
+        self.shared.work_cv.notify_one();
+        SessionHandle { slot }
+    }
+
+    /// Sessions completed so far.
+    pub fn sessions_completed(&self) -> u64 {
+        self.shared.sessions.load(Ordering::Relaxed)
+    }
+
+    /// Drain the queue, stop the workers, and return lifetime counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("detector worker panicked");
+        }
+        let state = self.lock_state();
+        ServiceStats {
+            sessions: self.shared.sessions.load(Ordering::Relaxed),
+            epoch_resets: state.pool.iter().map(SessionArena::resets).sum(),
+            epoch_purges: state.pool.iter().map(SessionArena::purges).sum(),
+            arenas_created: state.arenas_created,
+            sequential_admissions: state.sequential_admissions,
+            scheduled_admissions: state.scheduled_admissions,
+            signatures: state.estimator.signatures(),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.lock_state().shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.shared.state.lock().expect("service state mutex poisoned")
+    }
+}
+
+impl Drop for DetectionService {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // shutdown() already joined them
+        }
+        self.begin_shutdown();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("detector worker panicked");
+        }
+    }
+}
+
+/// One admitted session plus the arena leased for it.
+struct Admitted {
+    job: Queued,
+    arena: SessionArena,
+    estimated_ns: f64,
+    sequential: bool,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let admitted = {
+            let mut state = shared.state.lock().expect("service state mutex poisoned");
+            loop {
+                if let Some(admitted) = admit(&mut state, shared) {
+                    break admitted;
+                }
+                if state.shutdown {
+                    return; // queue drained
+                }
+                state = shared.work_cv.wait(state).expect("service state mutex poisoned");
+            }
+        };
+        run_one(shared, admitted);
+    }
+}
+
+/// Pop the next session (sequential fast path or scored SJF walk) and lease
+/// it an arena.  Called under the state lock; `None` if the queue is empty.
+fn admit(state: &mut State, shared: &Shared) -> Option<Admitted> {
+    if state.queue.is_empty() {
+        return None;
+    }
+    let (job, sequential) = if state.queue.len() == 1 {
+        // Sequential mode: nothing to rank, skip the scoring walk.
+        state.sequential_admissions += 1;
+        (state.queue.pop_front().expect("len == 1"), true)
+    } else {
+        let now = Instant::now();
+        let entries: Vec<(f64, f64)> = state
+            .queue
+            .iter()
+            .map(|q| {
+                let waited = now.duration_since(q.enqueued).as_nanos() as f64;
+                (state.estimator.estimate_ns(q.sig), waited)
+            })
+            .collect();
+        let pick = select_session(&entries, shared.config.aging);
+        state.scheduled_admissions += 1;
+        (state.queue.remove(pick).expect("selected index is in range"), false)
+    };
+    let estimated_ns = state.estimator.estimate_ns(job.sig);
+
+    // Lease an arena: reuse the roomiest free one, create on a pool miss.
+    let mut arena = match state.pool.pop() {
+        Some(arena) => arena,
+        None => {
+            state.arenas_created += 1;
+            SessionArena::new(
+                shared.config.locations_hint.max(job.locations),
+                shared.config.workers,
+                shared.config.gen_limit,
+            )
+        }
+    };
+    arena.ensure_locations(job.locations);
+    Some(Admitted {
+        job,
+        arena,
+        estimated_ns,
+        sequential,
+    })
+}
+
+/// Execute one admitted session outside the state lock, then recycle the
+/// arena, feed the estimator, and fulfill the handle.
+fn run_one(shared: &Shared, admitted: Admitted) {
+    let Admitted {
+        job,
+        arena,
+        estimated_ns,
+        sequential,
+    } = admitted;
+
+    let sink = arena.sink(job.locations);
+    let run = run_session(&job.prog, job.mode, &sink);
+    let report = sink.into_report();
+    arena.recycle();
+
+    {
+        let mut state = shared.state.lock().expect("service state mutex poisoned");
+        state.estimator.observe(job.sig, run.elapsed.as_nanos() as f64);
+        // Roomiest-last: keep the pool sorted by capacity so big sessions
+        // find big arenas.
+        let pos = state
+            .pool
+            .partition_point(|a| a.capacity() <= arena.capacity());
+        state.pool.insert(pos, arena);
+    }
+    shared.sessions.fetch_add(1, Ordering::Relaxed);
+
+    let outcome = SessionOutcome {
+        report,
+        run,
+        mode: job.mode,
+        estimated_ns,
+        sequential_admission: sequential,
+    };
+    *job.slot.done.lock().expect("outcome mutex poisoned") = Some(outcome);
+    job.slot.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spprog::{build_proc, run_program, RunConfig};
+
+    fn racy_pair() -> Proc {
+        build_proc(|p| {
+            p.spawn(|c| {
+                c.step(|m| m.write(0, 1));
+            });
+            p.spawn(|c| {
+                c.step(|m| m.write(0, 2));
+            });
+            p.sync();
+        })
+    }
+
+    fn race_free(n: u32) -> Proc {
+        build_proc(move |p| {
+            for i in 0..n {
+                p.spawn(move |c| {
+                    c.step(move |m| m.write(i, u64::from(i)));
+                });
+            }
+            p.sync();
+            p.step(move |m| {
+                for i in 0..n {
+                    assert_eq!(m.read(i), u64::from(i));
+                }
+            });
+        })
+    }
+
+    #[test]
+    fn reports_match_standalone_runs() {
+        let service = DetectionService::new(ServiceConfig::with_workers(2));
+        let racy = racy_pair();
+        let clean = race_free(6);
+        let solo_racy = run_program(&racy, &RunConfig::serial(1));
+        let solo_clean = run_program(&clean, &RunConfig::serial(6));
+        let handles: Vec<(bool, SessionHandle)> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (true, service.submit(&racy, 1))
+                } else {
+                    (false, service.submit(&clean, 6))
+                }
+            })
+            .collect();
+        for (is_racy, handle) in handles {
+            let outcome = handle.wait();
+            let expected = if is_racy { &solo_racy } else { &solo_clean };
+            assert_eq!(outcome.report.races(), expected.report.races());
+            assert_eq!(outcome.run.threads, expected.threads);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.sessions, 10);
+        assert!(stats.arenas_created <= 2);
+        assert!(stats.epoch_resets >= 8, "recycling, not reallocating");
+    }
+
+    #[test]
+    fn sequential_fast_path_engages_when_queue_is_short() {
+        let service = DetectionService::new(ServiceConfig::with_workers(1));
+        let prog = race_free(2);
+        // Submitted and drained one at a time: every admission sees ≤1
+        // pending.
+        for _ in 0..4 {
+            let outcome = service.submit(&prog, 2).wait();
+            assert!(outcome.sequential_admission);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.sequential_admissions, 4);
+        assert_eq!(stats.scheduled_admissions, 0);
+    }
+
+    #[test]
+    fn estimator_learns_signatures() {
+        let service = DetectionService::new(ServiceConfig::with_workers(1));
+        for _ in 0..3 {
+            service.submit(&racy_pair(), 1).wait();
+            service.submit(&race_free(32), 32).wait();
+        }
+        let stats = service.shutdown();
+        assert!(stats.signatures >= 2, "two distinct workload shapes observed");
+    }
+
+    #[test]
+    fn tiny_gen_limit_services_survive_wraparound() {
+        let service = DetectionService::new(ServiceConfig {
+            workers: 1,
+            gen_limit: 2,
+            ..ServiceConfig::default()
+        });
+        let racy = racy_pair();
+        let solo = run_program(&racy, &RunConfig::serial(1));
+        for round in 0..9 {
+            let outcome = service.submit(&racy, 1).wait();
+            assert_eq!(outcome.report.races(), solo.report.races(), "round {round}");
+        }
+        let stats = service.shutdown();
+        assert!(stats.epoch_purges >= 4, "gen_limit 2 wraps every other recycle");
+    }
+
+    #[test]
+    fn dropping_a_service_joins_its_workers() {
+        let service = DetectionService::new(ServiceConfig::with_workers(2));
+        let handle = service.submit(&race_free(2), 2);
+        drop(service); // drains the queue before stopping
+        assert!(handle.wait().report.races().is_empty());
+    }
+
+    #[test]
+    fn parse_workers_env_accepts_valid_overrides() {
+        assert_eq!(parse_workers_env(None, 3), 3);
+        assert_eq!(parse_workers_env(Some(""), 3), 3);
+        assert_eq!(parse_workers_env(Some("  "), 3), 3);
+        assert_eq!(parse_workers_env(Some("8"), 3), 8);
+        assert_eq!(parse_workers_env(Some(" 2 "), 3), 2);
+        assert_eq!(parse_workers_env(Some("100000"), 3), 512, "clamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "SP_SERVICE_WORKERS: unparseable value")]
+    fn parse_workers_env_rejects_garbage() {
+        parse_workers_env(Some("two"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "SP_SERVICE_WORKERS: worker count must be positive")]
+    fn parse_workers_env_rejects_zero() {
+        parse_workers_env(Some("0"), 3);
+    }
+}

@@ -23,7 +23,13 @@
 //! * [`spprog`] — **live** fork-join programs: a spawn/sync/step closure API
 //!   whose user code executes on the work-stealing scheduler while the SP
 //!   parse tree unfolds incrementally and races are detected online, with no
-//!   materialized tree on the live path.
+//!   materialized tree on the live path,
+//! * [`spservice`] — detection as a service: many concurrent
+//!   [`spprog`]-program *sessions* on a shared pool of detector workers,
+//!   multiplexed over epoch-reset shadow arenas (recycling is one
+//!   generation bump, not a reallocation), admitted shortest-job-first on
+//!   streaming P² runtime estimates (see
+//!   `ARCHITECTURE.md#detection-as-a-service-spservice`).
 //!
 //! ## The unified `SpBackend` trait
 //!
@@ -122,6 +128,7 @@ pub use spconform;
 pub use sphybrid;
 pub use spmaint;
 pub use spprog;
+pub use spservice;
 pub use sptree;
 pub use workloads;
 
@@ -136,9 +143,10 @@ pub mod prelude {
         check_case, check_live_case, run_live_sweep, run_sweep, ShapeKind, SweepConfig,
     };
     pub use spprog::{
-        build_proc, record_program, run_program, LiveMaintainer, Proc, ProcBuilder, RunConfig,
-        StepCtx,
+        build_proc, record_program, run_program, run_session, LiveMaintainer, Proc, ProcBuilder,
+        RunConfig, SessionMode, StepCtx,
     };
+    pub use spservice::{DetectionService, ServiceConfig, SessionOutcome};
     pub use sphybrid::{run_hybrid, HybridBackend, HybridConfig, NaiveBackend, SpHybrid};
     pub use spmaint::{
         run_serial, run_serial_with_queries, BackendConfig, CurrentSpQuery, EnglishHebrewLabels,
