@@ -27,6 +27,13 @@
 //! handles (the streaming SP-order of `spmaint::stream`) thread their node
 //! handles through tags; SP-hybrid ignores them and uses tokens as traces.
 //!
+//! Everything here *assumes* the unfolding is determinate — the same cursor
+//! must reveal the same structure on every schedule.  The assumption is
+//! checkable: `spprog`'s `RunConfig::enforced` folds every unfolded node
+//! into a schedule-independent structural hash and rejects runs that
+//! diverge from the program's serial reference (see the repository-root
+//! `ARCHITECTURE.md#enforced-determinacy`).
+//!
 //! The `spprog` crate builds the user-facing fork-join API (`step` / `spawn`
 //! / `sync` closures) on top of this module; see the repository-root
 //! `ARCHITECTURE.md#live-execution-spprog`.

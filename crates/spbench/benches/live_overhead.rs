@@ -103,6 +103,66 @@ fn live_overhead(c: &mut Criterion) {
     }
 }
 
+/// Determinacy-enforcement cost: the same program run with
+/// [`RunConfig::enforced`] on vs off, on the spawn-recursion and graph-BFS
+/// workloads.  The enforcer folds one hash per unfolded node and records it
+/// into a per-worker buffer; the serial reference is computed **once per
+/// program** and cached in the `Proc` (the bench reuses one `Proc` across
+/// iterations, as any real consumer running a program more than once does),
+/// so the steady-state price is the per-node fold only.  The acceptance bar
+/// is < 10% on both workloads.
+fn enforcement_cost(c: &mut Criterion) {
+    let (fib_depth, bfs_nodes) = if smoke_mode() { (6, 40) } else { (14, 1500) };
+    let graph = workloads::uniform_digraph(bfs_nodes, 3, 11);
+    let fleet = [
+        live_fib(fib_depth, false),
+        workloads::live_graph_bfs(&graph, 8, workloads::BfsVariant::RaceFree),
+    ];
+    for w in &fleet {
+        let mut group = c.benchmark_group(format!("live-enforcement/{}", w.name));
+        group.sample_size(10);
+        for workers in [1usize, 4] {
+            let off = RunConfig::with_workers(workers, w.locations);
+            let on = RunConfig::with_workers(workers, w.locations).enforced();
+            group.bench_function(format!("enforce-off/w{workers}"), |b| {
+                b.iter(|| run_program(&w.prog, &off))
+            });
+            group.bench_function(format!("enforce-on/w{workers}"), |b| {
+                b.iter(|| run_program(&w.prog, &on))
+            });
+        }
+        group.finish();
+    }
+
+    let reps = if smoke_mode() { 1 } else { 5 };
+    println!("\n=== live_enforcement summary (µs/run, best of {reps}) ===");
+    for w in &fleet {
+        for workers in [1usize, 4] {
+            let off = RunConfig::with_workers(workers, w.locations);
+            let on = RunConfig::with_workers(workers, w.locations).enforced();
+            // Prime the cached serial reference so the steady state is
+            // measured (the one-time reference run amortizes to zero).
+            std::hint::black_box(run_program(&w.prog, &on));
+            let mut best = [f64::INFINITY; 2];
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                std::hint::black_box(run_program(&w.prog, &off));
+                best[0] = best[0].min(t.elapsed().as_nanos() as f64 / 1e3);
+                let t = std::time::Instant::now();
+                std::hint::black_box(run_program(&w.prog, &on));
+                best[1] = best[1].min(t.elapsed().as_nanos() as f64 / 1e3);
+            }
+            println!(
+                "{} w{workers}: enforce-off {:.1}, enforce-on {:.1} ({:.3}x)",
+                w.name,
+                best[0],
+                best[1],
+                best[1] / best[0].max(1e-9)
+            );
+        }
+    }
+}
+
 /// Substrate growth cost: the same spawn-heavy balanced recursion
 /// ([`live_growth`]) run with *tiny* capacity hints — forcing the OM lists
 /// and the union-find to publish a dozen chunks mid-run — versus hints big
@@ -166,6 +226,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_millis(1200));
-    targets = live_overhead, growth_cost
+    targets = live_overhead, enforcement_cost, growth_cost
 }
 criterion_main!(benches);

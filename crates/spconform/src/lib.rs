@@ -59,8 +59,9 @@ use sptree::oracle::SpOracle;
 use sptree::tree::{NodeKind, ParseTree, ThreadId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use workloads::{
-    bfs_plan, bfs_procedure, disjoint_writes, inject_races, power_law_digraph,
-    racy_locations_oracle, random_mixed_script, uniform_digraph,
+    bfs_plan, bfs_procedure, branch_bound_plan, branch_bound_procedure, disjoint_writes,
+    inject_races, power_law_digraph, quicksort_input, quicksort_procedure, racy_locations_oracle,
+    random_mixed_script, reduction_input, reduction_plan, reduction_procedure, uniform_digraph,
 };
 
 pub mod live;
@@ -98,6 +99,21 @@ pub enum ShapeKind {
     /// (uniform vs power-law) and the chunk granularity, so skewed frontiers
     /// ride every sweep.
     GraphBfs,
+    /// Pivot-driven parallel quicksort over a seeded array
+    /// ([`workloads::datadep`]): the recursion tree is a function of the
+    /// input *values* (each node spawns its two partition halves and places
+    /// the pivot), so the realized shape is data-dependent while staying a
+    /// pure function of `(size, seed)`.
+    Quicksort,
+    /// Level-synchronous branch-and-bound with feasibility and bound
+    /// pruning ([`workloads::datadep`]): which nodes each level spawns
+    /// depends on the plan-precomputed incumbent, per level one serial
+    /// publish statement plus one spawn per surviving node.
+    BranchBound,
+    /// Reduction whose recursion depth varies with the local value spread
+    /// ([`workloads::datadep`]): segments split only where the data is
+    /// rough, so subtree depths differ across the array.
+    DataReduction,
     /// Random series-parallel tree that is *not* in canonical Cilk form;
     /// exercises every backend except SP-hybrid (which, like the paper,
     /// assumes Cilk canonical form).
@@ -106,13 +122,16 @@ pub enum ShapeKind {
 
 impl ShapeKind {
     /// Every shape, in sweep order.
-    pub const ALL: [ShapeKind; 7] = [
+    pub const ALL: [ShapeKind; 10] = [
         ShapeKind::DivideAndConquer,
         ShapeKind::ParallelLoop,
         ShapeKind::DeepNesting,
         ShapeKind::RandomCilk,
         ShapeKind::GrowthStress,
         ShapeKind::GraphBfs,
+        ShapeKind::Quicksort,
+        ShapeKind::BranchBound,
+        ShapeKind::DataReduction,
         ShapeKind::RandomSp,
     ];
 
@@ -131,6 +150,9 @@ impl ShapeKind {
             ShapeKind::RandomCilk => "random-cilk",
             ShapeKind::GrowthStress => "growth-stress",
             ShapeKind::GraphBfs => "graph-bfs",
+            ShapeKind::Quicksort => "quicksort",
+            ShapeKind::BranchBound => "branch-bound",
+            ShapeKind::DataReduction => "data-reduction",
             ShapeKind::RandomSp => "random-sp",
         }
     }
@@ -220,6 +242,26 @@ impl ShapeKind {
                 };
                 let granularity = 1 + ((seed >> 1) % 4) as u32;
                 Some(bfs_procedure(&bfs_plan(&graph, granularity)))
+            }
+            ShapeKind::Quicksort => {
+                // The realized recursion tree depends on the seeded values
+                // (pivot choices), but is a pure function of (size, seed) —
+                // which is what lets the minimizer shrink `size` without
+                // ever mutating a realized tree (see the shrinker note in
+                // `minimize_failure`).
+                let input = quicksort_input(2 + size, seed);
+                Some(quicksort_procedure(&input))
+            }
+            ShapeKind::BranchBound => {
+                // Depth 3..=7; the plan's capacity comes from the full item
+                // pool, so deeper searches strictly extend shallower ones
+                // (monotone size scaling).
+                let depth = 3 + (size / 6).min(4);
+                Some(branch_bound_procedure(&branch_bound_plan(depth, seed)))
+            }
+            ShapeKind::DataReduction => {
+                let input = reduction_input(2 + 2 * size, seed);
+                Some(reduction_procedure(&reduction_plan(&input, 8)))
             }
             ShapeKind::RandomSp => None,
         }
@@ -891,7 +933,7 @@ pub fn case_seed(base_seed: u64, shape_idx: u64, case: u64) -> u64 {
 ///
 /// let config = SweepConfig { cases_per_shape: 2, ..SweepConfig::default() };
 /// let stats = run_sweep(&config).expect("sweep is green");
-/// assert_eq!(stats.cases, 14); // 2 cases × 7 shapes
+/// assert_eq!(stats.cases, 20); // 2 cases × 10 shapes
 /// ```
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepStats, Box<ConformanceFailure>> {
     let mut stats = SweepStats::default();

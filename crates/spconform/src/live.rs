@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spmaint::api::BackendConfig;
 use spmaint::SpOrder;
-use spprog::{record_program, run_program, LiveMaintainer, RunConfig};
+use spprog::{record_program, run_program, try_run_program, LiveMaintainer, RunConfig};
 use sptree::cilk::CilkProgram;
 use sptree::oracle::SpOracle;
 use sptree::tree::ThreadId;
@@ -203,8 +203,10 @@ pub fn check_live_case(
         ));
     }
 
-    // Serial live run: bit-identical to offline serial detection.
-    let serial_run = run_program(&live, &RunConfig::serial(locations));
+    // Serial live run (determinacy-enforced — it seeds the program's serial
+    // reference for the multi-worker runs below): bit-identical to offline
+    // serial detection, and its structural hash must equal the recorder's.
+    let serial_run = run_program(&live, &RunConfig::serial(locations).enforced());
     if serial_run.report.races() != reference.races() {
         return Err(err(
             "spprog-serial",
@@ -212,6 +214,15 @@ pub fn check_live_case(
                 "serial live report diverges from offline sp-order: {:?} vs {:?}",
                 serial_run.report.races(),
                 reference.races()
+            ),
+        ));
+    }
+    if serial_run.structural_hash != Some(rec.structural_hash) {
+        return Err(err(
+            "spprog-serial",
+            format!(
+                "serial structural hash {:?} != recorded bridge hash {:#x}",
+                serial_run.structural_hash, rec.structural_hash
             ),
         ));
     }
@@ -227,15 +238,30 @@ pub fn check_live_case(
             // initial chunks of the growable substrates, so the sweep
             // exercises chunk-boundary crossings on every seed (the hints
             // are behavior-neutral — only initial sizes, never limits).
+            // Determinacy enforcement is on: every multi-worker run's
+            // structural hash must equal the serial reference seeded above.
             let config = RunConfig {
                 workers,
                 locations,
                 maintainer,
                 max_threads: 4,
                 max_steals: 1,
+                enforce_determinacy: true,
             };
-            let run = run_program(&live, &config);
+            let run = match try_run_program(&live, &config) {
+                Ok(run) => run,
+                Err(violation) => return Err(err(name, violation.to_string())),
+            };
             parallel_runs += 1;
+            if run.structural_hash != serial_run.structural_hash {
+                return Err(err(
+                    name,
+                    format!(
+                        "structural hash {:?} != serial reference {:?} ({workers} workers)",
+                        run.structural_hash, serial_run.structural_hash
+                    ),
+                ));
+            }
             let locs = run.report.racy_locations();
             if let Some(bogus) = locs.iter().find(|l| !truth.contains(l)) {
                 return Err(err(
@@ -410,13 +436,38 @@ mod tests {
     }
 
     #[test]
+    fn shrunk_data_dependent_cases_replay_to_the_same_structural_hash() {
+        // The minimizer never mutates a realized tree: it only shrinks
+        // `size` and regenerates the whole case from `(shape, size, seed)`.
+        // For the data-dependent shapes — whose spawn structure is a
+        // function of the seeded input *values* — that discipline is what
+        // keeps a shrunk failure replayable: an independently rebuilt
+        // program must unfold to the bit-identical structure, pinned here
+        // through the schedule-independent structural hash.
+        for shape in [ShapeKind::Quicksort, ShapeKind::BranchBound, ShapeKind::DataReduction] {
+            // Sizes a shrink may land on, including the floor.
+            for size in [0u32, 3, 9] {
+                let seed = 0x0DA7_ADE9u64;
+                let replay_hash = || {
+                    let procedure = shape.build_procedure(size, seed).expect("Cilk-form shape");
+                    let tree = CilkProgram::new(procedure.clone()).build_tree();
+                    let script = AccessScript::new(tree.num_threads(), 1);
+                    let live = live_from_cilk(&procedure, &script);
+                    record_program(&live, 1).structural_hash
+                };
+                assert_eq!(replay_hash(), replay_hash(), "{} size {size}", shape.name());
+            }
+        }
+    }
+
+    #[test]
     fn small_live_sweep_is_green() {
         let config = SweepConfig {
             cases_per_shape: 3,
             ..SweepConfig::default()
         };
         let stats = run_live_sweep(&config).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(stats.cases, 18, "6 Cilk shapes × 3 cases");
+        assert_eq!(stats.cases, 27, "9 Cilk shapes × 3 cases");
         assert!(stats.planted > 0);
         assert!(stats.parallel_runs >= stats.cases, "every case ran multi-worker");
     }

@@ -468,7 +468,7 @@ mod tests {
             ..SweepConfig::default()
         };
         let stats = run_service_sweep(&config).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(stats.cases, 12, "6 Cilk shapes × 2 cases");
+        assert_eq!(stats.cases, 18, "9 Cilk shapes × 2 cases");
         assert!(stats.planted > 0);
         assert_eq!(stats.epoch_resets, stats.sessions, "one recycle per session");
     }

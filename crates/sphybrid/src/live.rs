@@ -25,6 +25,12 @@
 //! hints, and a program may execute any number of threads and suffer any
 //! number of steals without a capacity panic anywhere on the live path.
 //!
+//! Like the paper's SP-hybrid, all of this is correct only for *determinate*
+//! programs — the driving runtime can check that assumption per run via
+//! `spprog`'s `RunConfig::enforced`, which compares a schedule-independent
+//! structural hash of the unfolding against the program's serial reference
+//! (`ARCHITECTURE.md#enforced-determinacy`).
+//!
 //! See `ARCHITECTURE.md#live-execution-spprog`.
 
 use sptree::tree::{ProcId, ThreadId};

@@ -28,6 +28,15 @@
 //! tree-driven backend.  The repository-root
 //! `ARCHITECTURE.md#live-execution-spprog` maps this subsystem to the paper.
 //!
+//! All of the above assumes the program is *determinate* — its fork-join
+//! structure a function of the program, not the schedule.
+//! [`RunConfig::enforced`] turns the assumption into a checked guarantee:
+//! every run folds a schedule-independent structural hash of the unfolding
+//! dag and [`try_run_program`] returns a typed [`DeterminacyViolation`]
+//! (naming the first divergent node) instead of a bogus race report when a
+//! run's structure diverges from the serial reference — see
+//! [`determinacy`] and `ARCHITECTURE.md#enforced-determinacy`.
+//!
 //! ## Example: a racy program, detected while it runs
 //!
 //! ```
@@ -63,16 +72,18 @@
 //! assert_eq!(live.traces as u64, 4 * live.steals + 1);
 //! ```
 
+pub mod determinacy;
 pub mod program;
 pub mod record;
 pub mod runtime;
 pub(crate) mod unfold;
 
+pub use determinacy::{DeterminacyViolation, Divergence};
 pub use program::{build_proc, Proc, ProcBuilder, SpawnFn, StepFn};
 pub use record::{record_program, Recorded};
 pub use runtime::{
-    run_program, run_session, run_uninstrumented, LiveMaintainer, LiveRun, RunConfig, SessionMode,
-    SessionRun, StepCtx,
+    run_program, run_session, run_uninstrumented, try_run_program, LiveMaintainer, LiveRun,
+    RunConfig, SessionMode, SessionRun, StepCtx,
 };
 pub use unfold::Meta;
 
@@ -189,6 +200,90 @@ mod tests {
         assert_eq!(steals, 0);
         let (threads, _, _) = run_uninstrumented(&prog, 4, 1);
         assert_eq!(threads, instrumented.threads);
+    }
+
+    #[test]
+    fn enforced_runs_agree_on_the_structural_hash_across_schedules() {
+        let prog = build_proc(fib_proc(9, Some(0)));
+        let serial = run_program(&prog, &RunConfig::serial(1).enforced());
+        let hash = serial.structural_hash.expect("enforced runs carry a hash");
+        for workers in [2usize, 4] {
+            for maintainer in [LiveMaintainer::Hybrid, LiveMaintainer::NaiveLocked] {
+                let config = RunConfig {
+                    workers,
+                    locations: 1,
+                    maintainer,
+                    ..RunConfig::default()
+                }
+                .enforced();
+                let live = try_run_program(&prog, &config).expect("fib is determinate");
+                assert_eq!(live.structural_hash, Some(hash), "workers={workers}");
+                assert_eq!(
+                    live.report.racy_locations(),
+                    serial.report.racy_locations(),
+                    "enforcement must not perturb detection"
+                );
+            }
+        }
+        // The serial bridge folds the same per-node fingerprints.
+        assert_eq!(record_program(&prog, 1).structural_hash, hash);
+    }
+
+    #[test]
+    fn unenforced_runs_carry_no_hash_and_never_fail() {
+        let prog = build_proc(fib_proc(6, None));
+        let run = try_run_program(&prog, &RunConfig::with_workers(3, 1)).unwrap();
+        assert_eq!(run.structural_hash, None);
+    }
+
+    #[test]
+    fn enforcement_caches_the_serial_reference_per_program() {
+        // Clones share the cache: the first enforced run seeds it, a clone's
+        // enforced run reuses it (observable as identical hashes without a
+        // serial run in between — and as hash stability across repeats).
+        let prog = build_proc(fib_proc(7, None));
+        let clone = prog.clone();
+        let a = try_run_program(&prog, &RunConfig::with_workers(4, 1).enforced()).unwrap();
+        let b = try_run_program(&clone, &RunConfig::with_workers(2, 1).enforced()).unwrap();
+        assert_eq!(a.structural_hash, b.structural_hash);
+    }
+
+    #[test]
+    fn schedule_dependent_spawn_shape_is_a_typed_violation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // Every evaluation of the lazy spawn body widens the program: run 1
+        // (the serial reference) unfolds one extra leaf, run 2 two, …  The
+        // violation must name the first divergent node, identically however
+        // many workers checked it.
+        let make = || {
+            let runs = Arc::new(AtomicU64::new(0));
+            build_proc(move |p| {
+                let runs = Arc::clone(&runs);
+                p.spawn(move |c| {
+                    let n = runs.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..n {
+                        c.spawn(|g| {
+                            g.step(|_| {});
+                        });
+                    }
+                    c.step(|_| {});
+                });
+            })
+        };
+        let mut divergences = Vec::new();
+        for workers in [2usize, 4] {
+            let prog = make();
+            let err = try_run_program(&prog, &RunConfig::with_workers(workers, 1).enforced())
+                .expect_err("schedule-dependent shape must be rejected");
+            assert_eq!(err.workers, workers);
+            assert_ne!(err.serial_hash, err.parallel_hash);
+            divergences.push(err.divergence.expect("the divergent node is named"));
+        }
+        assert_eq!(
+            divergences[0], divergences[1],
+            "the named node is deterministic"
+        );
     }
 
     #[test]

@@ -25,8 +25,9 @@
 //! [`record_program`](crate::record_program) lowers one serial execution
 //! into the equivalent parse tree + access script for the offline engines.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::determinacy::SerialReference;
 use crate::runtime::StepCtx;
 
 /// A step closure: one thread of serial work.
@@ -81,6 +82,12 @@ pub(crate) struct Block {
 #[derive(Clone)]
 pub struct Proc {
     pub(crate) blocks: Arc<Vec<Block>>,
+    /// Cached serial reference for determinacy enforcement, seeded by the
+    /// first enforced run (see [`crate::try_run_program`]).  Shared across
+    /// clones — the same program has the same reference — so repeated
+    /// enforced runs pay only the per-node hash fold, never a second
+    /// reference execution.
+    pub(crate) reference: Arc<OnceLock<Arc<SerialReference>>>,
 }
 
 impl Proc {
@@ -150,6 +157,7 @@ impl ProcBuilder {
         }
         Proc {
             blocks: Arc::new(self.blocks),
+            reference: Arc::new(OnceLock::new()),
         }
     }
 }

@@ -21,6 +21,7 @@ use racedet::{Access, AccessScript, LiveDetector};
 use sptree::builder::Ast;
 use sptree::tree::{ParseTree, ThreadId};
 
+use crate::determinacy::{internal_record, leaf_record, SerialCapture, SerialFold};
 use crate::program::Proc;
 use crate::runtime::record_step_ctx;
 use crate::unfold::{LiveCilk, Meta};
@@ -32,6 +33,12 @@ pub struct Recorded {
     pub tree: ParseTree,
     /// Every access each thread performed, in program order.
     pub script: AccessScript,
+    /// Schedule-independent structural hash of the recorded execution —
+    /// equal to the `structural_hash` of any enforced
+    /// [`run_program`](crate::run_program) of the same program (see
+    /// [`crate::determinacy`]), which is how the serial bridge is held to
+    /// the same structure the live runs executed.
+    pub structural_hash: u64,
 }
 
 struct Recorder<'a> {
@@ -42,6 +49,7 @@ struct Recorder<'a> {
     root: Option<Ast>,
     accesses: Vec<Vec<Access>>,
     buf: Vec<Access>,
+    capture: SerialCapture,
 }
 
 impl Recorder<'_> {
@@ -57,7 +65,8 @@ impl Recorder<'_> {
 }
 
 impl SerialLiveVisitor<LiveCilk> for Recorder<'_> {
-    fn enter_internal(&mut self, kind: SpKind, _meta: &Meta, _tag: u64) -> (u64, u64) {
+    fn enter_internal(&mut self, kind: SpKind, meta: &Meta, _tag: u64) -> (u64, u64) {
+        self.capture.fold(internal_record(meta.path, kind));
         self.stack.push((kind, Vec::with_capacity(2)));
         (0, 0)
     }
@@ -70,6 +79,8 @@ impl SerialLiveVisitor<LiveCilk> for Recorder<'_> {
         } else {
             0
         };
+        self.capture
+            .fold(leaf_record(meta.path, meta.step.is_some(), &self.buf));
         self.accesses.push(self.buf.clone());
         self.attach(Ast::leaf(work));
     }
@@ -99,6 +110,7 @@ pub fn record_program(prog: &Proc, locations: u32) -> Recorded {
         root: None,
         accesses: Vec::new(),
         buf: Vec::new(),
+        capture: SerialCapture::default(),
     };
     let threads = run_live_serial(&program, &mut recorder, 0);
     let ast = recorder.root.expect("the program unfolds at least one thread");
@@ -111,7 +123,11 @@ pub fn record_program(prog: &Proc, locations: u32) -> Recorded {
             script.push(thread, access);
         }
     }
-    Recorded { tree, script }
+    Recorded {
+        tree,
+        script,
+        structural_hash: recorder.capture.hash,
+    }
 }
 
 /// Checked conversion of a recorder slot index into a dense [`ThreadId`]:

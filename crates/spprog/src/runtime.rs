@@ -36,6 +36,12 @@ use sphybrid::live::{LiveHybridConfig, LiveSpHybrid};
 use sphybrid::TraceId;
 use sptree::tree::ThreadId;
 
+use std::sync::Arc;
+
+use crate::determinacy::{
+    diagnose, internal_record, leaf_record, DeterminacyViolation, SerialCapture, SerialCheck,
+    SerialFold, SerialReference, SharedCapture,
+};
 use crate::program::Proc;
 use crate::unfold::{LiveCilk, Meta};
 
@@ -154,6 +160,13 @@ pub struct RunConfig {
     pub max_steals: usize,
     /// SP maintainer for multi-worker runs.
     pub maintainer: LiveMaintainer,
+    /// Enforce fork-join determinacy: fold every spawn/sync/step into the
+    /// schedule-independent structural hash (see [`crate::determinacy`])
+    /// and require the run's hash to equal the program's cached serial
+    /// reference.  A mismatch makes [`try_run_program`] return a typed
+    /// [`DeterminacyViolation`] naming the first divergent node — never a
+    /// bogus race report.  Off by default (zero overhead when off).
+    pub enforce_determinacy: bool,
 }
 
 impl Default for RunConfig {
@@ -164,6 +177,7 @@ impl Default for RunConfig {
             max_threads: 1 << 10,
             max_steals: 1 << 7,
             maintainer: LiveMaintainer::Hybrid,
+            enforce_determinacy: false,
         }
     }
 }
@@ -184,6 +198,14 @@ impl RunConfig {
             locations,
             ..RunConfig::default()
         }
+    }
+
+    /// Turn determinacy enforcement on (builder-style):
+    /// `RunConfig::with_workers(4, 8).enforced()`.
+    #[must_use]
+    pub fn enforced(mut self) -> Self {
+        self.enforce_determinacy = true;
+        self
     }
 }
 
@@ -261,6 +283,12 @@ pub struct LiveRun {
     pub sp_grow_events: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Schedule-independent structural hash of the unfolded SP dag —
+    /// `Some` iff [`RunConfig::enforce_determinacy`] was set (in which case
+    /// it is guaranteed equal to the serial reference hash; a mismatch
+    /// would have made [`try_run_program`] return a
+    /// [`DeterminacyViolation`] instead).
+    pub structural_hash: Option<u64>,
 }
 
 // ---------------------------------------------------------------------------
@@ -272,10 +300,16 @@ struct SerialRunVisitor<'a> {
     sink: &'a dyn DetectionSink,
     next_thread: u32,
     buf: Vec<Access>,
+    /// Structural-hash fold when the run is determinacy-enforced: a full
+    /// capture on the reference-seeding run, a streaming check afterwards.
+    capture: Option<&'a mut dyn SerialFold>,
 }
 
 impl SerialLiveVisitor<LiveCilk> for SerialRunVisitor<'_> {
-    fn enter_internal(&mut self, kind: SpKind, _meta: &Meta, tag: u64) -> (u64, u64) {
+    fn enter_internal(&mut self, kind: SpKind, meta: &Meta, tag: u64) -> (u64, u64) {
+        if let Some(c) = self.capture.as_deref_mut() {
+            c.fold(internal_record(meta.path, kind));
+        }
         let (l, r) = self.sp.expand(StreamNode::from_tag(tag), kind.is_parallel());
         (l.to_tag(), r.to_tag())
     }
@@ -291,11 +325,18 @@ impl SerialLiveVisitor<LiveCilk> for SerialRunVisitor<'_> {
                 trace: Some(&mut self.buf),
             });
         }
+        if let Some(c) = self.capture.as_deref_mut() {
+            c.fold(leaf_record(meta.path, meta.step.is_some(), &self.buf));
+        }
         self.sink.check_thread(&self.sp, thread, &self.buf);
     }
 }
 
-fn run_serial_with(prog: &Proc, sink: &dyn DetectionSink) -> SessionRun {
+fn run_serial_with<'a>(
+    prog: &Proc,
+    sink: &'a dyn DetectionSink,
+    capture: Option<&'a mut (dyn SerialFold + 'a)>,
+) -> SessionRun {
     let program = LiveCilk::new(prog);
     let (sp, root) = StreamingSpOrder::stream_new();
     let mut visitor = SerialRunVisitor {
@@ -303,6 +344,7 @@ fn run_serial_with(prog: &Proc, sink: &dyn DetectionSink) -> SessionRun {
         sink,
         next_thread: 0,
         buf: Vec::new(),
+        capture,
     };
     let start = Instant::now();
     let threads = run_live_serial(&program, &mut visitor, root.to_tag());
@@ -341,9 +383,27 @@ struct HybridRunVisitor<'a> {
     /// Per-worker access buffers, reused across leaves (indexed by worker;
     /// each lock is only ever taken by its own worker, so it is uncontended).
     bufs: Vec<Mutex<Vec<Access>>>,
+    /// Structural-hash capture when the run is determinacy-enforced.
+    capture: Option<&'a SharedCapture>,
 }
 
 impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
+    fn enter_internal(
+        &self,
+        worker: usize,
+        kind: SpKind,
+        meta: &Meta,
+        _tag: u64,
+        _token: Token,
+    ) -> (u64, u64) {
+        // The hybrid keys on proc ids and trace tokens, not tags; this
+        // override exists only to fold enforced runs' internal nodes.
+        if let Some(c) = self.capture {
+            c.fold(worker, internal_record(meta.path, kind));
+        }
+        (0, 0)
+    }
+
     fn execute_leaf(&self, worker: usize, meta: &Meta, _tag: u64, token: Token) {
         let trace = TraceId::from_token(token);
         let thread = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
@@ -356,6 +416,9 @@ impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
                 mem: MemRef::Sink(self.sink),
                 trace: Some(&mut buf),
             });
+        }
+        if let Some(c) = self.capture {
+            c.fold(worker, leaf_record(meta.path, meta.step.is_some(), &buf));
         }
         self.sink.check_thread(
             &HybridView {
@@ -395,6 +458,7 @@ fn run_hybrid_with(
     workers: usize,
     hints: (usize, usize),
     sink: &dyn DetectionSink,
+    capture: Option<&SharedCapture>,
 ) -> SessionRun {
     let program = LiveCilk::new(prog);
     let hybrid = LiveSpHybrid::new(LiveHybridConfig {
@@ -407,6 +471,7 @@ fn run_hybrid_with(
         sink,
         next_thread: &next_thread,
         bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        capture,
     };
     let stats = run_live(
         &program,
@@ -455,17 +520,22 @@ struct NaiveRunVisitor<'a> {
     next_thread: &'a AtomicU32,
     /// Per-worker access buffers, reused across leaves.
     bufs: Vec<Mutex<Vec<Access>>>,
+    /// Structural-hash capture when the run is determinacy-enforced.
+    capture: Option<&'a SharedCapture>,
 }
 
 impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
     fn enter_internal(
         &self,
-        _worker: usize,
+        worker: usize,
         kind: SpKind,
-        _meta: &Meta,
+        meta: &Meta,
         tag: u64,
         _token: Token,
     ) -> (u64, u64) {
+        if let Some(c) = self.capture {
+            c.fold(worker, internal_record(meta.path, kind));
+        }
         let (l, r) = self
             .shared
             .sp
@@ -488,6 +558,9 @@ impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
                 trace: Some(&mut buf),
             });
         }
+        if let Some(c) = self.capture {
+            c.fold(worker, leaf_record(meta.path, meta.step.is_some(), &buf));
+        }
         self.sink.check_thread(
             &NaiveView {
                 shared: self.shared,
@@ -507,7 +580,12 @@ impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
     }
 }
 
-fn run_naive_with(prog: &Proc, workers: usize, sink: &dyn DetectionSink) -> SessionRun {
+fn run_naive_with(
+    prog: &Proc,
+    workers: usize,
+    sink: &dyn DetectionSink,
+    capture: Option<&SharedCapture>,
+) -> SessionRun {
     let program = LiveCilk::new(prog);
     let (sp, root) = StreamingSpOrder::stream_new();
     let shared = NaiveShared { sp: Mutex::new(sp) };
@@ -517,6 +595,7 @@ fn run_naive_with(prog: &Proc, workers: usize, sink: &dyn DetectionSink) -> Sess
         sink,
         next_thread: &next_thread,
         bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        capture,
     };
     let stats = run_live(
         &program,
@@ -562,29 +641,63 @@ pub fn run_session(prog: &Proc, mode: SessionMode, sink: &dyn DetectionSink) -> 
         (d.max_threads, d.max_steals)
     };
     match mode {
-        SessionMode::Serial => run_serial_with(prog, sink),
-        SessionMode::Hybrid { workers } => run_hybrid_with(prog, workers.max(1), hints, sink),
-        SessionMode::NaiveLocked { workers } => run_naive_with(prog, workers.max(1), sink),
+        SessionMode::Serial => run_serial_with(prog, sink, None),
+        SessionMode::Hybrid { workers } => {
+            run_hybrid_with(prog, workers.max(1), hints, sink, None)
+        }
+        SessionMode::NaiveLocked { workers } => run_naive_with(prog, workers.max(1), sink, None),
     }
 }
 
-/// Execute a live program with on-the-fly SP maintenance and online race
-/// detection; races are detected *while the program runs*, with no
-/// materialized parse tree anywhere on this path.
-///
-/// See the crate-level documentation for a complete example.
-pub fn run_program(prog: &Proc, config: &RunConfig) -> LiveRun {
-    let workers = config.workers.max(1);
-    let detector = LiveDetector::new(config.locations, workers);
-    let hints = (config.max_threads, config.max_steals);
-    let stats = if workers == 1 {
-        run_serial_with(prog, &detector)
-    } else {
-        match config.maintainer {
-            LiveMaintainer::Hybrid => run_hybrid_with(prog, workers, hints, &detector),
-            LiveMaintainer::NaiveLocked => run_naive_with(prog, workers, &detector),
+// ---------------------------------------------------------------------------
+// Determinacy enforcement
+// ---------------------------------------------------------------------------
+
+/// Hash-only serial walk over raw value memory: computes a program's
+/// serial reference (structural hash + per-node records) without any SP
+/// maintenance or detection.
+struct ReferenceVisitor<'a> {
+    values: &'a [AtomicU64],
+    buf: Vec<Access>,
+    capture: SerialCapture,
+}
+
+impl SerialLiveVisitor<LiveCilk> for ReferenceVisitor<'_> {
+    fn enter_internal(&mut self, kind: SpKind, meta: &Meta, _tag: u64) -> (u64, u64) {
+        self.capture.fold(internal_record(meta.path, kind));
+        (0, 0)
+    }
+
+    fn execute_leaf(&mut self, meta: &Meta, _tag: u64) {
+        self.buf.clear();
+        if let Some(step) = &meta.step {
+            step(&mut StepCtx {
+                mem: MemRef::Raw(self.values),
+                trace: Some(&mut self.buf),
+            });
         }
+        self.capture
+            .fold(leaf_record(meta.path, meta.step.is_some(), &self.buf));
+    }
+}
+
+fn compute_serial_reference(prog: &Proc, locations: u32) -> SerialReference {
+    let program = LiveCilk::new(prog);
+    let values: Vec<AtomicU64> = (0..locations).map(|_| AtomicU64::new(0)).collect();
+    let mut visitor = ReferenceVisitor {
+        values: &values,
+        buf: Vec::new(),
+        capture: SerialCapture::default(),
     };
+    run_live_serial(&program, &mut visitor, 0);
+    visitor.capture.into_reference()
+}
+
+fn finish_live_run(
+    detector: LiveDetector,
+    stats: SessionRun,
+    structural_hash: Option<u64>,
+) -> LiveRun {
     LiveRun {
         report: detector.into_report(),
         threads: stats.threads,
@@ -595,7 +708,152 @@ pub fn run_program(prog: &Proc, config: &RunConfig) -> LiveRun {
         sp_space_bytes: stats.sp_space_bytes,
         sp_grow_events: stats.sp_grow_events,
         elapsed: stats.elapsed,
+        structural_hash,
     }
+}
+
+/// Execute a live program with on-the-fly SP maintenance and online race
+/// detection; races are detected *while the program runs*, with no
+/// materialized parse tree anywhere on this path.
+///
+/// With [`RunConfig::enforce_determinacy`] set this panics on a
+/// [`DeterminacyViolation`] — use [`try_run_program`] to handle the typed
+/// error.  See the crate-level documentation for a complete example.
+pub fn run_program(prog: &Proc, config: &RunConfig) -> LiveRun {
+    try_run_program(prog, config).unwrap_or_else(|violation| panic!("{violation}"))
+}
+
+/// Execute a live program like [`run_program`], returning a typed
+/// [`DeterminacyViolation`] instead of a race report when
+/// [`RunConfig::enforce_determinacy`] is set and the run's fork-join
+/// structure diverges from the program's serial reference.
+///
+/// Enforcement folds every spawn/sync/step event into a
+/// schedule-independent structural hash (per node, combined commutatively,
+/// so work-stealing order cannot affect it — see [`crate::determinacy`] and
+/// `ARCHITECTURE.md#enforced-determinacy`).  The first enforced run of a
+/// [`Proc`] seeds a cached serial reference; every later enforced run of
+/// the same program (or any clone) is compared against it, so repeated runs
+/// pay only the per-node fold.  On a mismatch the violation names the first
+/// divergent node in serial visit order and the run's race report is
+/// discarded — a schedule-dependent program's report would be meaningless.
+///
+/// Without enforcement this never returns `Err` and adds no overhead.
+///
+/// ```
+/// use spprog::{build_proc, try_run_program, RunConfig};
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use std::sync::Arc;
+///
+/// // A determinate program passes with the same hash on every schedule.
+/// let prog = build_proc(|p| {
+///     p.spawn(|c| { c.step(|m| m.write(0, 1)); });
+///     p.spawn(|c| { c.step(|m| m.write(1, 2)); });
+/// });
+/// let serial = try_run_program(&prog, &RunConfig::serial(2).enforced()).unwrap();
+/// let live = try_run_program(&prog, &RunConfig::with_workers(4, 2).enforced()).unwrap();
+/// assert_eq!(serial.structural_hash, live.structural_hash);
+///
+/// // A program whose spawn count is keyed off a shared flag is *not*
+/// // determinate: the reference run flips the flag, the checked run
+/// // unfolds a different shape, and the violation names the divergence.
+/// let flag = Arc::new(AtomicBool::new(false));
+/// let schedule_dependent = build_proc(move |p| {
+///     let flag = Arc::clone(&flag);
+///     p.spawn(move |c| {
+///         if flag.swap(true, Ordering::Relaxed) {
+///             c.spawn(|g| { g.step(|_| {}); }); // extra spawn on re-run
+///         }
+///         c.step(|_| {});
+///     });
+/// });
+/// let err = try_run_program(&schedule_dependent, &RunConfig::with_workers(2, 1).enforced())
+///     .unwrap_err();
+/// assert!(err.divergence.is_some(), "the first divergent node is named");
+/// ```
+pub fn try_run_program(prog: &Proc, config: &RunConfig) -> Result<LiveRun, DeterminacyViolation> {
+    let workers = config.workers.max(1);
+    let detector = LiveDetector::new(config.locations, workers);
+    let hints = (config.max_threads, config.max_steals);
+    if !config.enforce_determinacy {
+        let stats = if workers == 1 {
+            run_serial_with(prog, &detector, None)
+        } else {
+            match config.maintainer {
+                LiveMaintainer::Hybrid => run_hybrid_with(prog, workers, hints, &detector, None),
+                LiveMaintainer::NaiveLocked => run_naive_with(prog, workers, &detector, None),
+            }
+        };
+        return Ok(finish_live_run(detector, stats, None));
+    }
+    if workers == 1 {
+        // A serial run *is* a reference execution.  The first enforced run
+        // captures the walk inline (no second pass) and seeds the program's
+        // cache; every later one checks run-to-run serial stability
+        // *streamingly* against the cached reference — comparing each node
+        // in place, allocating nothing on the steady-state happy path.
+        if let Some(reference) = prog.reference.get() {
+            let mut check = SerialCheck::new(reference);
+            let stats = run_serial_with(prog, &detector, Some(&mut check));
+            let hash = check.hash;
+            if hash != reference.hash {
+                return Err(DeterminacyViolation {
+                    serial_hash: reference.hash,
+                    parallel_hash: hash,
+                    workers: 1,
+                    divergence: check.into_divergence(),
+                });
+            }
+            return Ok(finish_live_run(detector, stats, Some(hash)));
+        }
+        let mut capture = SerialCapture::default();
+        let stats = run_serial_with(prog, &detector, Some(&mut capture));
+        let hash = capture.hash;
+        let _ = prog.reference.set(Arc::new(capture.into_reference()));
+        return Ok(finish_live_run(detector, stats, Some(hash)));
+    }
+    let reference = Arc::clone(
+        prog.reference
+            .get_or_init(|| Arc::new(compute_serial_reference(prog, config.locations))),
+    );
+    let capture = SharedCapture::new(workers);
+    let stats = match config.maintainer {
+        LiveMaintainer::Hybrid => {
+            run_hybrid_with(prog, workers, hints, &detector, Some(&capture))
+        }
+        LiveMaintainer::NaiveLocked => run_naive_with(prog, workers, &detector, Some(&capture)),
+    };
+    let hash = capture.hash();
+    if hash != reference.hash {
+        // The hot path keeps per-worker hashes only; re-run with full
+        // node recording to *name* the first divergent node.  A program
+        // that diverged once is schedule-dependent and diverges again
+        // with overwhelming likelihood — if this run happens to match
+        // the reference after all, the violation is still reported,
+        // just without a named node.
+        let recording = SharedCapture::recording(workers, reference.nodes.len());
+        let rerun_sink = LiveDetector::new(config.locations, workers);
+        match config.maintainer {
+            LiveMaintainer::Hybrid => {
+                run_hybrid_with(prog, workers, hints, &rerun_sink, Some(&recording))
+            }
+            LiveMaintainer::NaiveLocked => {
+                run_naive_with(prog, workers, &rerun_sink, Some(&recording))
+            }
+        };
+        let divergence = if recording.hash() == reference.hash {
+            None
+        } else {
+            diagnose(&reference, &recording.into_records())
+        };
+        return Err(DeterminacyViolation {
+            serial_hash: reference.hash,
+            parallel_hash: hash,
+            workers,
+            divergence,
+        });
+    }
+    Ok(finish_live_run(detector, stats, Some(hash)))
 }
 
 /// Execute a live program with **no** instrumentation: no SP maintenance,

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use forkrt::{LiveNode, LiveProgram, SpKind};
 use sptree::tree::ProcId;
 
+use crate::determinacy::{child_paths, ROOT_PATH};
 use crate::program::{Proc, SpawnBody, Stmt};
 use crate::StepFn;
 
@@ -31,15 +32,18 @@ pub(crate) struct ProcInst {
     pub(crate) proc: Proc,
 }
 
-/// Position in the unfolding computation.
+/// Position in the unfolding computation.  The trailing `u64` of every
+/// variant is the node's structural *path* (see [`crate::determinacy`]):
+/// derived purely from the position in the tree, identical on every
+/// schedule, unlike the `fetch_add`-allocated [`ProcId`]s.
 pub(crate) enum Cursor {
     /// The series of sync blocks `b..` of a procedure.
-    Blocks(Arc<ProcInst>, usize),
+    Blocks(Arc<ProcInst>, usize, u64),
     /// The statements `s..` of block `b` (ending in the implicit empty
     /// thread that reaches the sync).
-    Rest(Arc<ProcInst>, usize, usize),
+    Rest(Arc<ProcInst>, usize, usize, u64),
     /// The single step leaf at statement `(b, s)`.
-    Step(Arc<ProcInst>, usize, usize),
+    Step(Arc<ProcInst>, usize, usize, u64),
 }
 
 /// Node metadata handed to visitors.
@@ -52,6 +56,9 @@ pub struct Meta {
     /// For a step leaf: the user closure to run.  `None` for the implicit
     /// empty threads (block ends, empty procedures).
     pub step: Option<Arc<StepFn>>,
+    /// Schedule-independent structural path of this node — what the
+    /// determinacy enforcer hashes (see [`crate::determinacy`]).
+    pub path: u64,
 }
 
 /// A [`Proc`] wrapped for one live run: allocates procedure ids as spawns
@@ -87,6 +94,7 @@ impl LiveProgram for LiveCilk {
                 proc: self.root.clone(),
             }),
             0,
+            ROOT_PATH,
         )
     }
 
@@ -94,7 +102,7 @@ impl LiveProgram for LiveCilk {
         let mut cursor = cursor;
         loop {
             match cursor {
-                Cursor::Blocks(p, b) => {
+                Cursor::Blocks(p, b, path) => {
                     let n = p.proc.blocks.len();
                     if n == 0 {
                         // Empty procedure: a single empty thread.
@@ -102,24 +110,28 @@ impl LiveProgram for LiveCilk {
                             proc: p.id,
                             spawned: None,
                             step: None,
+                            path,
                         });
                     }
                     if b + 1 == n {
-                        cursor = Cursor::Rest(p, b, 0);
+                        // Pass-through (no node emitted): the path rides on.
+                        cursor = Cursor::Rest(p, b, 0, path);
                         continue;
                     }
+                    let (lp, rp) = child_paths(path);
                     return LiveNode::Internal {
                         kind: SpKind::Series,
                         meta: Meta {
                             proc: p.id,
                             spawned: None,
                             step: None,
+                            path,
                         },
-                        left: Cursor::Rest(Arc::clone(&p), b, 0),
-                        right: Cursor::Blocks(p, b + 1),
+                        left: Cursor::Rest(Arc::clone(&p), b, 0, lp),
+                        right: Cursor::Blocks(p, b + 1, rp),
                     };
                 }
-                Cursor::Rest(p, b, s) => {
+                Cursor::Rest(p, b, s, path) => {
                     let block = &p.proc.blocks[b];
                     if s == block.stmts.len() {
                         // The implicit empty thread that reaches the sync.
@@ -127,8 +139,10 @@ impl LiveProgram for LiveCilk {
                             proc: p.id,
                             spawned: None,
                             step: None,
+                            path,
                         });
                     }
+                    let (lp, rp) = child_paths(path);
                     return match &block.stmts[s] {
                         Stmt::Step(_) => LiveNode::Internal {
                             kind: SpKind::Series,
@@ -136,9 +150,10 @@ impl LiveProgram for LiveCilk {
                                 proc: p.id,
                                 spawned: None,
                                 step: None,
+                                path,
                             },
-                            left: Cursor::Step(Arc::clone(&p), b, s),
-                            right: Cursor::Rest(p, b, s + 1),
+                            left: Cursor::Step(Arc::clone(&p), b, s, lp),
+                            right: Cursor::Rest(p, b, s + 1, rp),
                         },
                         Stmt::Spawn(body) => {
                             let child = self.instantiate(body);
@@ -149,14 +164,15 @@ impl LiveProgram for LiveCilk {
                                     proc: p.id,
                                     spawned: Some(spawned),
                                     step: None,
+                                    path,
                                 },
-                                left: Cursor::Blocks(child, 0),
-                                right: Cursor::Rest(p, b, s + 1),
+                                left: Cursor::Blocks(child, 0, lp),
+                                right: Cursor::Rest(p, b, s + 1, rp),
                             }
                         }
                     };
                 }
-                Cursor::Step(p, b, s) => {
+                Cursor::Step(p, b, s, path) => {
                     let Stmt::Step(f) = &p.proc.blocks[b].stmts[s] else {
                         unreachable!("a Step cursor always points at a step statement");
                     };
@@ -164,6 +180,7 @@ impl LiveProgram for LiveCilk {
                         proc: p.id,
                         spawned: None,
                         step: Some(Arc::clone(f)),
+                        path,
                     });
                 }
             }

@@ -1,0 +1,666 @@
+//! Data-dependent fork-join workloads: quicksort, branch-and-bound, and a
+//! spread-driven reduction.
+//!
+//! Every workload in [`live`](crate::live) and [`graphs`](crate::graphs) has
+//! a spawn structure that is either fixed a priori (fib, loops, matmul) or
+//! precomputed from a graph ([`BfsPlan`](crate::graphs::BfsPlan)).  This
+//! module opens the next class: programs whose *shape* is a function of the
+//! input **values** — where the recursion tree is decided by pivots,
+//! incumbent bounds, or value spreads.  These are exactly the programs for
+//! which the live runtime's determinacy assumption is easiest to violate by
+//! accident (read a racy cell, spawn a different number of children), so
+//! they are the natural stress fleet for
+//! [`RunConfig::enforced`](spprog::RunConfig::enforced): every family here
+//! is built so that an enforced run across any worker count reproduces the
+//! serial structural hash exactly.
+//!
+//! The construction follows the [`BfsPlan`](crate::graphs::BfsPlan)
+//! discipline: the data-dependent structure is computed **host-side** from
+//! the seeded input (pivot recursion, pruned search levels, split decisions)
+//! and baked into the program; the program then re-performs the computation
+//! through instrumented shared memory and asserts the outcome matches the
+//! plan.  Schedule-dependent quantities (racy counter values) never steer
+//! control flow.
+//!
+//! Three families, each in a race-free and a planted-race variant with an
+//! exact expected racy-location set:
+//!
+//! * **Quicksort** ([`live_quicksort`]) — pivot-driven recursion over a
+//!   seeded array.  Each recursion node spawns the two partition halves and
+//!   writes its pivot into the output segment; the post-sync verifier
+//!   asserts the array came out sorted.  The racy variant makes every
+//!   recursion step bump one shared statistics cell (read + write) — all
+//!   recursion steps are pairwise logically parallel, so the cell races
+//!   whenever the input has ≥ 2 elements.
+//! * **Branch-and-bound** ([`live_branch_bound`]) — level-synchronous
+//!   subset-sum maximisation with feasibility and bound pruning.  Which
+//!   nodes survive each level depends on the incumbent, so the plan
+//!   precomputes the surviving frontiers and the incumbent published before
+//!   each level; tasks read the shared incumbent cell and write their
+//!   children into private cells, and a serial merge step per level checks
+//!   and republishes.  The racy variant makes every task also *write* the
+//!   incumbent cell — racy exactly when some level has ≥ 2 nodes.
+//! * **Data-dependent reduction** ([`live_reduction`]) — a segment splits
+//!   only where its value *spread* exceeds a threshold, so the recursion
+//!   depth varies across the array.  Combine steps read the children's
+//!   cells after the sync; the racy variant bumps a shared counter in every
+//!   leaf.
+//!
+//! See `ARCHITECTURE.md#enforced-determinacy` for how these families ride
+//! the conformance sweeps as `ShapeKind`s.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spprog::{build_proc, ProcBuilder};
+use sptree::cilk::{Procedure, SyncBlock};
+
+use crate::live::LiveWorkload;
+
+// ---------------------------------------------------------------------------
+// Quicksort
+// ---------------------------------------------------------------------------
+
+/// Seeded quicksort input: `len` values in `0..256` (duplicates likely, so
+/// the pivot recursion also exercises equal keys).
+pub fn quicksort_input(len: u32, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51C4_5047_u64);
+    (0..len).map(|_| rng.gen_range(0..256u64)).collect()
+}
+
+/// Lomuto-style value partition: pivot is the last element; `left` holds the
+/// strictly smaller values, `right` the rest (≥ pivot).  Used identically by
+/// the live program (at unfold time) and the [`quicksort_procedure`] mirror,
+/// so both realize the same recursion tree.
+fn partition(seg: &[u64]) -> (Vec<u64>, u64, Vec<u64>) {
+    let pivot = seg[seg.len() - 1];
+    let rest = &seg[..seg.len() - 1];
+    let left: Vec<u64> = rest.iter().copied().filter(|&v| v < pivot).collect();
+    let right: Vec<u64> = rest.iter().copied().filter(|&v| v >= pivot).collect();
+    (left, pivot, right)
+}
+
+/// Recursion body shared by the root and every spawned segment.  One block:
+/// spawn the two halves, then place the pivot — the pivot step comes *after*
+/// the spawns, so all recursion steps across the whole sort are pairwise
+/// logically parallel (which is what makes the planted statistics bump a
+/// certain race).
+fn sort_into(p: &mut ProcBuilder, seg: Vec<u64>, base: u32, racy: bool, stats: u32) {
+    if seg.len() <= 1 {
+        let val = seg.first().copied();
+        p.step(move |m| {
+            if racy {
+                let v = m.read(stats);
+                m.write(stats, v + 1);
+            }
+            if let Some(v) = val {
+                m.write(base, v + 1);
+            }
+        });
+        return;
+    }
+    let (left, pivot, right) = partition(&seg);
+    let llen = u32::try_from(left.len()).expect("segment length fits u32");
+    p.spawn(subsort(left, base, racy, stats));
+    p.spawn(subsort(right, base + llen + 1, racy, stats));
+    p.step(move |m| {
+        if racy {
+            let v = m.read(stats);
+            m.write(stats, v + 1);
+        }
+        m.write(base + llen, pivot + 1);
+    });
+}
+
+fn subsort(
+    seg: Vec<u64>,
+    base: u32,
+    racy: bool,
+    stats: u32,
+) -> impl Fn(&mut ProcBuilder) + Send + Sync {
+    move |p: &mut ProcBuilder| sort_into(p, seg.clone(), base, racy, stats)
+}
+
+/// Parallel quicksort over `input`: cells `0..n` receive the sorted values
+/// (encoded `v + 1` so an unwritten cell is distinguishable), cell `n` is
+/// the shared statistics cell the racy variant bumps in every recursion
+/// step.  The post-sync verifier asserts the full sorted order.
+pub fn live_quicksort(input: &[u64], racy: bool) -> LiveWorkload {
+    let n = u32::try_from(input.len()).expect("input length fits u32");
+    let stats = n;
+    let mut sorted = input.to_vec();
+    sorted.sort_unstable();
+    let seg = input.to_vec();
+    let prog = build_proc(move |p| {
+        sort_into(p, seg.clone(), 0, racy, stats);
+        p.sync();
+        let sorted = sorted.clone();
+        p.step(move |m| {
+            for (i, &v) in sorted.iter().enumerate() {
+                let cell = u32::try_from(i).expect("cell index fits u32");
+                assert_eq!(m.read(cell), v + 1, "quicksort output cell {i}");
+            }
+        });
+    });
+    LiveWorkload {
+        name: if racy { "quicksort-racy" } else { "quicksort" },
+        prog,
+        locations: n + 1,
+        // Any input with ≥ 2 elements has ≥ 3 pairwise-parallel recursion
+        // steps; smaller inputs are a single step, so nothing can race.
+        expected_racy: if racy && n >= 2 { vec![stats] } else { vec![] },
+    }
+}
+
+/// Canonical Cilk mirror of [`live_quicksort`]'s structure (the recorded
+/// tree of the live program equals this procedure's lowering).
+pub fn quicksort_procedure(input: &[u64]) -> Procedure {
+    fn qs_block(seg: &[u64]) -> SyncBlock {
+        if seg.len() <= 1 {
+            return SyncBlock::new().work(1);
+        }
+        let (left, _, right) = partition(seg);
+        SyncBlock::new()
+            .spawn(Procedure::single(qs_block(&left)))
+            .spawn(Procedure::single(qs_block(&right)))
+            .work(1)
+    }
+    Procedure::new()
+        .block(qs_block(input))
+        .block(SyncBlock::new().work(1))
+}
+
+// ---------------------------------------------------------------------------
+// Branch-and-bound
+// ---------------------------------------------------------------------------
+
+/// Host-precomputed branch-and-bound search (subset-sum maximisation under a
+/// capacity), in the [`BfsPlan`](crate::graphs::BfsPlan) style: the pruned
+/// level structure and the incumbent published before each level are fixed
+/// facts of `(depth, seed)`, baked into the live program.
+pub struct BranchBoundPlan {
+    /// Item values considered, one per level.
+    pub items: Vec<u64>,
+    /// Capacity bound — derived from the *full* item pool so it is constant
+    /// across depths (deeper searches strictly extend shallower ones).
+    pub cap: u64,
+    /// Surviving node sums per level; `levels[0] == [0]` (the root).
+    pub levels: Vec<Vec<u64>>,
+    /// Incumbent (best feasible sum seen so far) published before each
+    /// level's tasks run.
+    pub incumbents: Vec<u64>,
+    /// Per level, per node: the two child sums (skip item, take item) after
+    /// pruning — `None` means the child was pruned (infeasible or bounded).
+    pub children: Vec<Vec<[Option<u64>; 2]>>,
+    /// The optimal feasible sum.
+    pub best: u64,
+    /// Whether some level holds ≥ 2 nodes (the racy variant only actually
+    /// races when two tasks of one level overlap).
+    pub multi: bool,
+}
+
+/// Build the search plan: expand level by level, pruning children that are
+/// infeasible (`sum > cap`) or bounded (`sum + remaining ≤ incumbent`).  The
+/// node carrying the current incumbent always survives, so no level is ever
+/// empty and the frontier widths grow with depth.
+pub fn branch_bound_plan(depth: u32, seed: u64) -> BranchBoundPlan {
+    const MAX_DEPTH: u32 = 8;
+    let depth = depth.min(MAX_DEPTH) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B0_4B0B_u64);
+    let pool: Vec<u64> = (0..MAX_DEPTH).map(|_| rng.gen_range(1..=9u64)).collect();
+    let cap = pool.iter().sum::<u64>() * 3 / 5;
+    let items: Vec<u64> = pool[..depth].to_vec();
+
+    let mut levels: Vec<Vec<u64>> = Vec::new();
+    let mut incumbents = Vec::new();
+    let mut children: Vec<Vec<[Option<u64>; 2]>> = Vec::new();
+    if depth > 0 {
+        levels.push(vec![0]);
+    }
+    let mut incumbent = 0u64;
+    for l in 0..depth {
+        incumbents.push(incumbent);
+        let suffix_after: u64 = items[l + 1..].iter().sum();
+        let mut next = Vec::new();
+        let mut lvl_children = Vec::new();
+        let mut new_incumbent = incumbent;
+        for &s in &levels[l] {
+            let mut pair = [None, None];
+            for (k, child) in [s, s + items[l]].into_iter().enumerate() {
+                if child > cap {
+                    continue; // infeasible
+                }
+                new_incumbent = new_incumbent.max(child);
+                // Bound prune against the incumbent published at level
+                // start; the final level keeps every feasible child (they
+                // are merged results, not a next frontier).
+                if l + 1 < depth && child + suffix_after <= incumbent {
+                    continue;
+                }
+                pair[k] = Some(child);
+                if l + 1 < depth {
+                    next.push(child);
+                }
+            }
+            lvl_children.push(pair);
+        }
+        children.push(lvl_children);
+        if l + 1 < depth {
+            debug_assert!(!next.is_empty(), "the incumbent node always survives");
+            levels.push(next);
+        }
+        incumbent = new_incumbent;
+    }
+    let multi = levels.iter().any(|lvl| lvl.len() >= 2);
+    BranchBoundPlan {
+        items,
+        cap,
+        levels,
+        incumbents,
+        children,
+        best: incumbent,
+        multi,
+    }
+}
+
+/// Encoded child slot: pruned children read back as 0, surviving sums as
+/// `sum + 1` (a surviving sum may itself be 0).
+fn enc(child: Option<u64>) -> u64 {
+    child.map_or(0, |v| v + 1)
+}
+
+/// Level-synchronous branch-and-bound over a plan.  Cell 0 is the shared
+/// incumbent; each (level, node) task owns two private child cells.  Every
+/// level is one sync block: a serial publish step (asserts the previous
+/// level's cells replayed exactly, then writes the incumbent) followed by
+/// one spawned task per surviving node (reads the incumbent, writes its
+/// pruned children).  The racy variant makes every task also bump the
+/// incumbent cell, racing whenever a level has ≥ 2 tasks.
+pub fn live_branch_bound(plan: &BranchBoundPlan, racy: bool) -> LiveWorkload {
+    const INC: u32 = 0;
+    let depth = plan.levels.len();
+    let mut bases = Vec::with_capacity(depth);
+    let mut next_cell = 1u32;
+    for lvl in &plan.levels {
+        bases.push(next_cell);
+        next_cell += 2 * u32::try_from(lvl.len()).expect("level width fits u32");
+    }
+    let locations = next_cell;
+    let incumbents = plan.incumbents.clone();
+    let baked: Vec<Vec<[u64; 2]>> = plan
+        .children
+        .iter()
+        .map(|lvl| lvl.iter().map(|pair| [enc(pair[0]), enc(pair[1])]).collect())
+        .collect();
+    let best = plan.best;
+
+    let assert_level = |m: &mut spprog::StepCtx<'_>, base: u32, expect: &[[u64; 2]]| {
+        for (i, pair) in expect.iter().enumerate() {
+            let cell = base + 2 * u32::try_from(i).expect("node index fits u32");
+            assert_eq!(m.read(cell), pair[0], "level replay: skip child of node {i}");
+            assert_eq!(m.read(cell + 1), pair[1], "level replay: take child of node {i}");
+        }
+    };
+
+    let prog = build_proc(move |p| {
+        for l in 0..depth {
+            let inc_now = incumbents[l];
+            let prev = (l > 0).then(|| (bases[l - 1], baked[l - 1].clone()));
+            p.step(move |m| {
+                if let Some((base, expect)) = &prev {
+                    assert_level(m, *base, expect);
+                }
+                m.write(INC, inc_now);
+            });
+            for (i, &pair) in baked[l].iter().enumerate() {
+                let cell = bases[l] + 2 * u32::try_from(i).expect("node index fits u32");
+                p.spawn(move |c| {
+                    c.step(move |m| {
+                        let seen = m.read(INC);
+                        if racy {
+                            m.write(INC, seen + 1);
+                        } else {
+                            assert_eq!(seen, inc_now, "published incumbent at level {l}");
+                        }
+                        m.write(cell, pair[0]);
+                        m.write(cell + 1, pair[1]);
+                    });
+                });
+            }
+            p.sync();
+        }
+        let last = (depth > 0).then(|| (bases[depth - 1], baked[depth - 1].clone()));
+        p.step(move |m| {
+            if let Some((base, expect)) = &last {
+                assert_level(m, *base, expect);
+            }
+            m.write(INC, best);
+        });
+    });
+    LiveWorkload {
+        name: if racy { "branch-bound-racy" } else { "branch-bound" },
+        prog,
+        locations,
+        expected_racy: if racy && plan.multi { vec![INC] } else { vec![] },
+    }
+}
+
+/// Canonical Cilk mirror of [`live_branch_bound`]'s structure: one block per
+/// level (publish step, then one single-step child per surviving node), plus
+/// the final merge block.
+pub fn branch_bound_procedure(plan: &BranchBoundPlan) -> Procedure {
+    let mut procedure = Procedure::new();
+    for level in &plan.levels {
+        let mut block = SyncBlock::new().work(1);
+        for _ in level {
+            block = block.spawn(Procedure::single(SyncBlock::new().work(1)));
+        }
+        procedure = procedure.block(block);
+    }
+    procedure.block(SyncBlock::new().work(1))
+}
+
+// ---------------------------------------------------------------------------
+// Data-dependent reduction
+// ---------------------------------------------------------------------------
+
+/// Seeded reduction input: `len` values in `0..256`.
+pub fn reduction_input(len: u32, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4ED0_CE00_u64);
+    (0..len).map(|_| rng.gen_range(0..256u64)).collect()
+}
+
+/// One node of the realized reduction tree (pre-order cell allocation — the
+/// cell ids are assigned host-side precisely because an unfold-time counter
+/// would be schedule-dependent, the exact bug class enforcement exists to
+/// catch).
+enum RNode {
+    Leaf {
+        cell: u32,
+        sum: u64,
+    },
+    Split {
+        cell: u32,
+        sum: u64,
+        left: Arc<RNode>,
+        right: Arc<RNode>,
+    },
+}
+
+impl RNode {
+    fn cell(&self) -> u32 {
+        match self {
+            RNode::Leaf { cell, .. } | RNode::Split { cell, .. } => *cell,
+        }
+    }
+
+    fn sum(&self) -> u64 {
+        match self {
+            RNode::Leaf { sum, .. } | RNode::Split { sum, .. } => *sum,
+        }
+    }
+}
+
+/// Host-precomputed shape of a [`live_reduction`] run: where the recursion
+/// splits is a function of the input values, fixed here.
+pub struct ReductionPlan {
+    /// Value spread (`max − min`) above which a segment splits.
+    pub threshold: u64,
+    /// Total sum of the input (the value the root must reduce to).
+    pub total: u64,
+    /// Number of tree nodes (cells `1..=nodes` hold their partial sums).
+    pub nodes: u32,
+    /// Number of leaf segments.
+    pub leaves: u32,
+    root: Arc<RNode>,
+}
+
+/// Build the realized reduction tree for `input`: a segment splits when it
+/// has ≥ 2 elements and either is the root, is longer than 8 (so large
+/// inputs always expose parallelism), or its value spread exceeds
+/// `threshold`.
+pub fn reduction_plan(input: &[u64], threshold: u64) -> ReductionPlan {
+    fn build(
+        seg: &[u64],
+        is_root: bool,
+        threshold: u64,
+        next: &mut u32,
+        leaves: &mut u32,
+    ) -> Arc<RNode> {
+        let cell = *next;
+        *next += 1;
+        let sum: u64 = seg.iter().sum();
+        let spread =
+            seg.iter().max().copied().unwrap_or(0) - seg.iter().min().copied().unwrap_or(0);
+        if seg.len() >= 2 && (is_root || seg.len() > 8 || spread > threshold) {
+            let mid = seg.len() / 2;
+            let left = build(&seg[..mid], false, threshold, next, leaves);
+            let right = build(&seg[mid..], false, threshold, next, leaves);
+            Arc::new(RNode::Split {
+                cell,
+                sum,
+                left,
+                right,
+            })
+        } else {
+            *leaves += 1;
+            Arc::new(RNode::Leaf { cell, sum })
+        }
+    }
+    let mut next = 1u32; // cell 0 is the shared statistics cell
+    let mut leaves = 0u32;
+    let root = build(input, true, threshold, &mut next, &mut leaves);
+    ReductionPlan {
+        threshold,
+        total: input.iter().sum(),
+        nodes: next - 1,
+        leaves,
+        root,
+    }
+}
+
+/// Recursion body: a leaf writes its baked partial sum; a split spawns both
+/// halves, syncs, and combines by reading the children's cells (asserting
+/// they replayed) and writing its own.
+fn reduce_into(p: &mut ProcBuilder, node: &Arc<RNode>, racy: bool) {
+    const STATS: u32 = 0;
+    match &**node {
+        RNode::Leaf { cell, sum } => {
+            let (cell, sum) = (*cell, *sum);
+            p.step(move |m| {
+                if racy {
+                    let v = m.read(STATS);
+                    m.write(STATS, v + 1);
+                }
+                m.write(cell, sum + 1);
+            });
+        }
+        RNode::Split {
+            cell,
+            sum,
+            left,
+            right,
+        } => {
+            let (lc, ls) = (left.cell(), left.sum());
+            let (rc, rs) = (right.cell(), right.sum());
+            p.spawn(subreduce(Arc::clone(left), racy));
+            p.spawn(subreduce(Arc::clone(right), racy));
+            p.sync();
+            let (cell, sum) = (*cell, *sum);
+            p.step(move |m| {
+                assert_eq!(m.read(lc), ls + 1, "left partial sum combined");
+                assert_eq!(m.read(rc), rs + 1, "right partial sum combined");
+                m.write(cell, sum + 1);
+            });
+        }
+    }
+}
+
+fn subreduce(node: Arc<RNode>, racy: bool) -> impl Fn(&mut ProcBuilder) + Send + Sync {
+    move |p: &mut ProcBuilder| reduce_into(p, &node, racy)
+}
+
+/// Data-dependent-depth reduction over a plan.  Cell 0 is the shared
+/// statistics cell (the racy variant bumps it in every leaf); cells
+/// `1..=nodes` hold the partial sums (encoded `sum + 1`).  The final step
+/// asserts the root reduced to the input's total.
+pub fn live_reduction(plan: &ReductionPlan, racy: bool) -> LiveWorkload {
+    const STATS: u32 = 0;
+    let root = Arc::clone(&plan.root);
+    let root_cell = root.cell();
+    let total = plan.total;
+    let prog = build_proc(move |p| {
+        reduce_into(p, &root, racy);
+        p.sync();
+        p.step(move |m| {
+            assert_eq!(m.read(root_cell), total + 1, "reduction total");
+        });
+    });
+    LiveWorkload {
+        name: if racy { "data-reduction-racy" } else { "data-reduction" },
+        prog,
+        locations: 1 + plan.nodes,
+        // The root splits whenever the input has ≥ 2 elements, so ≥ 2
+        // leaves means ≥ 2 parallel bumps of the statistics cell.
+        expected_racy: if racy && plan.leaves >= 2 { vec![STATS] } else { vec![] },
+    }
+}
+
+/// Canonical Cilk mirror of [`live_reduction`]'s structure.
+pub fn reduction_procedure(plan: &ReductionPlan) -> Procedure {
+    fn proc_of(node: &RNode) -> Procedure {
+        match node {
+            RNode::Leaf { .. } => Procedure::single(SyncBlock::new().work(1)),
+            RNode::Split { left, right, .. } => Procedure::new()
+                .block(
+                    SyncBlock::new()
+                        .spawn(proc_of(left))
+                        .spawn(proc_of(right)),
+                )
+                .block(SyncBlock::new().work(1)),
+        }
+    }
+    proc_of(&plan.root).block(SyncBlock::new().work(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spprog::{record_program, run_program, try_run_program, RunConfig};
+    use sptree::cilk::CilkProgram;
+
+    fn check_workload(w: &LiveWorkload, label: &str) {
+        let serial = run_program(&w.prog, &RunConfig::serial(w.locations));
+        assert_eq!(serial.report.racy_locations(), w.expected_racy, "{label} serial");
+        for workers in [2usize, 3] {
+            let live = run_program(&w.prog, &RunConfig::with_workers(workers, w.locations));
+            assert_eq!(live.report.racy_locations(), w.expected_racy, "{label} w{workers}");
+        }
+    }
+
+    #[test]
+    fn inputs_are_seed_deterministic() {
+        assert_eq!(quicksort_input(16, 7), quicksort_input(16, 7));
+        assert_ne!(quicksort_input(16, 7), quicksort_input(16, 8));
+        assert_eq!(reduction_input(16, 7), reduction_input(16, 7));
+        let a = branch_bound_plan(5, 11);
+        let b = branch_bound_plan(5, 11);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn quicksort_variants_report_exactly_their_planted_races() {
+        for (len, seed) in [(0u32, 1u64), (1, 1), (2, 2), (9, 3), (17, 4)] {
+            let input = quicksort_input(len, seed);
+            for racy in [false, true] {
+                let w = live_quicksort(&input, racy);
+                check_workload(&w, &format!("quicksort n{len} racy={racy}"));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_bound_variants_report_exactly_their_planted_races() {
+        for (depth, seed) in [(0u32, 5u64), (1, 5), (3, 6), (6, 7), (8, 8)] {
+            let plan = branch_bound_plan(depth, seed);
+            for racy in [false, true] {
+                let w = live_branch_bound(&plan, racy);
+                check_workload(&w, &format!("branch-bound d{depth} racy={racy}"));
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_variants_report_exactly_their_planted_races() {
+        for (len, threshold, seed) in [(0u32, 8u64, 9u64), (1, 8, 9), (6, 8, 10), (40, 8, 11), (12, u64::MAX, 12)] {
+            let input = reduction_input(len, seed);
+            let plan = reduction_plan(&input, threshold);
+            for racy in [false, true] {
+                let w = live_reduction(&plan, racy);
+                check_workload(&w, &format!("reduction n{len} t{threshold} racy={racy}"));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_variants_do_plant_races_on_interesting_inputs() {
+        // Fixed seeds, so these are facts about the plans: a planted variant
+        // with an empty expected set would test nothing.
+        let input = quicksort_input(14, 3);
+        assert_eq!(live_quicksort(&input, true).expected_racy, vec![14]);
+        let plan = branch_bound_plan(6, 7);
+        assert!(plan.multi, "some level holds ≥ 2 nodes");
+        assert_eq!(live_branch_bound(&plan, true).expected_racy, vec![0]);
+        let plan = reduction_plan(&reduction_input(24, 11), 8);
+        assert!(plan.leaves >= 2, "the root splits");
+        assert_eq!(live_reduction(&plan, true).expected_racy, vec![0]);
+        // Degenerate inputs genuinely have nothing parallel to race.
+        assert!(live_quicksort(&quicksort_input(1, 3), true).expected_racy.is_empty());
+        assert!(live_branch_bound(&branch_bound_plan(1, 7), true).expected_racy.is_empty());
+        let tiny = reduction_plan(&reduction_input(1, 11), 8);
+        assert!(live_reduction(&tiny, true).expected_racy.is_empty());
+    }
+
+    #[test]
+    fn recorded_programs_match_their_cilk_procedure_trees() {
+        let input = quicksort_input(11, 5);
+        let qs = (live_quicksort(&input, false), quicksort_procedure(&input));
+        let plan = branch_bound_plan(6, 7);
+        let bb = (live_branch_bound(&plan, false), branch_bound_procedure(&plan));
+        let rplan = reduction_plan(&reduction_input(19, 13), 8);
+        let rd = (live_reduction(&rplan, false), reduction_procedure(&rplan));
+        for (w, procedure) in [qs, bb, rd] {
+            let recorded = record_program(&w.prog, w.locations);
+            let tree = CilkProgram::new(procedure).build_tree();
+            tree.check_invariants();
+            assert_eq!(recorded.tree.num_threads(), tree.num_threads(), "{}", w.name);
+            assert_eq!(recorded.tree.num_pnodes(), tree.num_pnodes(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn enforced_runs_reproduce_the_serial_structural_hash() {
+        // The whole point of the family: data-dependent shapes whose
+        // enforced multi-worker runs still hash identically to serial.
+        let input = quicksort_input(13, 21);
+        let plan = branch_bound_plan(7, 22);
+        let rplan = reduction_plan(&reduction_input(21, 23), 8);
+        for w in [
+            live_quicksort(&input, true),
+            live_branch_bound(&plan, true),
+            live_reduction(&rplan, true),
+        ] {
+            let serial = run_program(&w.prog, &RunConfig::serial(w.locations).enforced());
+            let hash = serial.structural_hash.expect("enforced runs carry a hash");
+            for workers in [2usize, 4] {
+                let cfg = RunConfig::with_workers(workers, w.locations).enforced();
+                let live = try_run_program(&w.prog, &cfg)
+                    .unwrap_or_else(|v| panic!("{}: {v}", w.name));
+                assert_eq!(live.structural_hash, Some(hash), "{} w{workers}", w.name);
+            }
+            assert_eq!(record_program(&w.prog, w.locations).structural_hash, hash, "{}", w.name);
+        }
+    }
+}

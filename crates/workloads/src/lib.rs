@@ -9,11 +9,17 @@
 //! forks, random Cilk programs — together with access-script generators for
 //! the race-detection experiments.
 
+pub mod datadep;
 pub mod graphs;
 pub mod live;
 pub mod programs;
 pub mod scripts;
 
+pub use datadep::{
+    branch_bound_plan, branch_bound_procedure, live_branch_bound, live_quicksort, live_reduction,
+    quicksort_input, quicksort_procedure, reduction_input, reduction_plan, reduction_procedure,
+    BranchBoundPlan, ReductionPlan,
+};
 pub use graphs::{
     bfs_plan, bfs_procedure, live_bfs_from_plan, live_graph_bfs, power_law_digraph,
     uniform_digraph, BfsChunk, BfsPlan, BfsVariant, Digraph,

@@ -143,8 +143,9 @@ pub mod prelude {
         check_case, check_live_case, run_live_sweep, run_sweep, ShapeKind, SweepConfig,
     };
     pub use spprog::{
-        build_proc, record_program, run_program, run_session, LiveMaintainer, Proc, ProcBuilder,
-        RunConfig, SessionMode, StepCtx,
+        build_proc, record_program, run_program, run_session, try_run_program,
+        DeterminacyViolation, Divergence, LiveMaintainer, Proc, ProcBuilder, RunConfig,
+        SessionMode, StepCtx,
     };
     pub use spservice::{DetectionService, ServiceConfig, SessionOutcome};
     pub use sphybrid::{run_hybrid, HybridBackend, HybridConfig, NaiveBackend, SpHybrid};
@@ -156,5 +157,9 @@ pub mod prelude {
         Ast, CilkProgram, NodeId, NodeKind, ParseTree, Procedure, Relation, SpOracle, Stmt,
         SyncBlock, ThreadId, WorkSpan,
     };
-    pub use workloads::{Workload, WorkloadKind};
+    pub use workloads::{
+        branch_bound_plan, live_branch_bound, live_quicksort, live_reduction, quicksort_input,
+        reduction_input, reduction_plan, BranchBoundPlan, LiveWorkload, ReductionPlan, Workload,
+        WorkloadKind,
+    };
 }

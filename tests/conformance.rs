@@ -16,7 +16,7 @@ use spconform::{case_seed, check_case, check_races, BackendKind, ShapeKind};
 const BASE_SEED: u64 = 0x51EE_D0C5;
 
 /// ≥ 200 fixed-seed random programs, every shape, all six backends vs the
-/// oracle (42 cases × 7 shapes = 294 trees; every 4th case also runs the
+/// oracle (42 cases × 10 shapes = 420 trees; every 4th case also runs the
 /// parallel backends on 2 workers).
 #[test]
 fn six_backends_agree_with_oracle_on_210_random_programs() {
@@ -55,7 +55,7 @@ fn six_backends_agree_with_oracle_on_210_random_programs() {
 #[test]
 fn generic_detector_instantiations_report_equivalent_races() {
     for case in 0..12u64 {
-        let shape = ShapeKind::ALL[(case % 6) as usize]; // the Cilk-form shapes
+        let shape = ShapeKind::ALL[(case % 9) as usize]; // the Cilk-form shapes
         assert!(shape.is_cilk_form());
         let seed = case_seed(BASE_SEED, 7, case);
         let tree = shape.build_tree(6 + (seed % 20) as u32, seed);

@@ -16,11 +16,13 @@ use racedet::detect_races;
 use spconform::{case_seed, check_live_case, tree_sexpr, ShapeKind};
 use spmaint::{BackendConfig, EnglishHebrewLabels, OffsetSpanLabels, SpBags, SpOrder};
 use sphybrid::{HybridBackend, NaiveBackend};
-use spprog::{record_program, run_program, RunConfig};
+use spprog::{record_program, run_program, try_run_program, RunConfig};
 use sptree::cilk::CilkProgram;
 use workloads::{
-    bfs_plan, bfs_procedure, live_bfs_from_plan, live_fib, live_graph_bfs, live_matmul,
-    live_parallel_loop, power_law_digraph, uniform_digraph, BfsVariant,
+    bfs_plan, bfs_procedure, branch_bound_plan, live_bfs_from_plan, live_branch_bound, live_fib,
+    live_graph_bfs, live_matmul, live_parallel_loop, live_quicksort, live_reduction,
+    power_law_digraph, quicksort_input, reduction_input, reduction_plan, uniform_digraph,
+    BfsVariant,
 };
 
 /// Base seed of the fixed tier-1 live suite (distinct from both the main
@@ -60,7 +62,7 @@ fn live_and_tree_runs_report_the_same_races() {
             }
         }
     }
-    assert_eq!(cases, 60, "6 Cilk shapes × 10 cases");
+    assert_eq!(cases, 90, "9 Cilk shapes × 10 cases");
     assert!(planted > 0, "the sweep must exercise real races");
 }
 
@@ -105,6 +107,65 @@ fn serial_live_reports_match_every_offline_backend() {
                 "{}: live serial vs offline {name}",
                 workload.name
             );
+        }
+    }
+}
+
+/// Planted-race completeness for the data-dependent workload families
+/// (quicksort, branch-and-bound, spread reduction), on the same fixed seed
+/// matrix the CI conformance legs sweep: serial reports bit-identical to the
+/// offline reference through the recorded bridge, and exact planted-set
+/// equality on ≥ 2 workers — all under determinacy enforcement, which is
+/// what licenses running these value-shaped programs live at all.
+#[test]
+fn data_dependent_families_report_exactly_their_planted_races() {
+    for seed in [0xC0FFEEu64, 0x1CEB_00DA, 0x5EED_C0DE] {
+        let qs_input = quicksort_input(10 + (seed % 7) as u32, seed);
+        let bb_plan = branch_bound_plan(4 + (seed % 4) as u32, seed);
+        let red_plan = reduction_plan(&reduction_input(14 + (seed % 9) as u32, seed), 8);
+        // These seeds genuinely plant: a vacuous expected set tests nothing.
+        assert!(!live_quicksort(&qs_input, true).expected_racy.is_empty());
+        assert!(!live_branch_bound(&bb_plan, true).expected_racy.is_empty());
+        assert!(!live_reduction(&red_plan, true).expected_racy.is_empty());
+        for racy in [false, true] {
+            for w in [
+                live_quicksort(&qs_input, racy),
+                live_branch_bound(&bb_plan, racy),
+                live_reduction(&red_plan, racy),
+            ] {
+                let rec = record_program(&w.prog, w.locations);
+                let (offline, _) =
+                    detect_races::<SpOrder>(&rec.tree, &rec.script, BackendConfig::serial());
+                let serial = run_program(&w.prog, &RunConfig::serial(w.locations).enforced());
+                assert_eq!(
+                    serial.report.races(),
+                    offline.races(),
+                    "{} seed {seed:#x}: serial bridge",
+                    w.name
+                );
+                assert_eq!(
+                    serial.report.racy_locations(),
+                    w.expected_racy,
+                    "{} seed {seed:#x}: planted set",
+                    w.name
+                );
+                for workers in [2usize, 4] {
+                    let cfg = RunConfig::with_workers(workers, w.locations).enforced();
+                    let run = try_run_program(&w.prog, &cfg)
+                        .unwrap_or_else(|v| panic!("{} seed {seed:#x}: {v}", w.name));
+                    assert_eq!(
+                        run.report.racy_locations(),
+                        w.expected_racy,
+                        "{} seed {seed:#x} w{workers}: exact planted equality",
+                        w.name
+                    );
+                    assert_eq!(
+                        run.structural_hash, serial.structural_hash,
+                        "{} seed {seed:#x} w{workers}: structural hash",
+                        w.name
+                    );
+                }
+            }
         }
     }
 }
