@@ -41,6 +41,7 @@ const MAX_CHUNKS: usize = 32;
 // knob shrinks every substrate at once and a typo in the knob fails loudly
 // in exactly one place.
 use om::concurrent::base_chunk_size;
+use spmetrics::{CounterId, EventKind, MetricsHandle};
 
 /// One slab element; all fields readable without any lock.
 struct Element {
@@ -65,6 +66,9 @@ pub struct ConcurrentUnionFind {
     grow: Mutex<usize>,
     grow_events: AtomicU64,
     len: AtomicU32,
+    /// Optional observability sink, consulted only on the (rare) growth
+    /// path — never on finds or unions.
+    metrics: Mutex<MetricsHandle>,
 }
 
 // Chunk pointers are published once (null → non-null) and freed only in
@@ -87,6 +91,7 @@ impl ConcurrentUnionFind {
             grow: Mutex::new(0),
             grow_events: AtomicU64::new(0),
             len: AtomicU32::new(0),
+            metrics: Mutex::new(MetricsHandle::detached()),
         };
         uf.ensure(0);
         uf
@@ -163,6 +168,9 @@ impl ConcurrentUnionFind {
             *chunks = k + 1;
             if k > 0 {
                 self.grow_events.fetch_add(1, Ordering::Relaxed);
+                let metrics = self.metrics.lock().unwrap();
+                metrics.add(CounterId::DsuGrowth, 1);
+                metrics.event(EventKind::DsuGrow, u64::from(published_end), 0);
             }
         }
     }
@@ -181,6 +189,13 @@ impl ConcurrentUnionFind {
     /// outgrew its initial hint.
     pub fn grow_events(&self) -> u64 {
         self.grow_events.load(Ordering::Relaxed)
+    }
+
+    /// Route future growth events (counter + trace event with the new
+    /// capacity) to `metrics`.  Only the rare chunk-publication path looks
+    /// at the handle; finds and unions never do.
+    pub fn attach_metrics(&self, metrics: MetricsHandle) {
+        *self.metrics.lock().unwrap() = metrics;
     }
 
     /// Number of elements created via [`make_set`](Self::make_set) so far.

@@ -44,7 +44,7 @@ pub mod metrics;
 pub mod scheduler;
 pub mod visitor;
 
-pub use live::{run_live, run_live_serial, LiveConfig, LiveNode, LiveProgram, LiveVisitor, SerialLiveVisitor, SpKind};
+pub use live::{run_live, run_live_metered, run_live_serial, LiveConfig, LiveNode, LiveProgram, LiveVisitor, SerialLiveVisitor, SpKind};
 pub use metrics::RunStats;
 pub use scheduler::{ParallelWalk, WalkConfig};
 pub use visitor::{ParallelVisitor, StealTokens, Token};

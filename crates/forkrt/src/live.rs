@@ -45,6 +45,7 @@ use std::time::Instant;
 use crossbeam_deque::{Steal, Stealer, Worker as Deque};
 use crossbeam_utils::Backoff;
 use parking_lot::Mutex;
+use spmetrics::{CounterId, EventKind, MetricsHandle};
 
 use crate::metrics::RunStats;
 use crate::visitor::{StealTokens, Token};
@@ -232,6 +233,9 @@ struct Shared<'p, P: LiveProgram, V> {
     steals: AtomicU64,
     failed_steals: AtomicU64,
     threads_per_worker: Vec<AtomicU64>,
+    /// Observability sink: detached (free) unless the caller came through
+    /// [`run_live_metered`] with an attached registry.
+    metrics: &'p MetricsHandle,
 }
 
 struct WorkerCtx<C, M> {
@@ -259,6 +263,34 @@ where
     P: LiveProgram,
     V: LiveVisitor<P>,
 {
+    run_live_metered(
+        program,
+        visitor,
+        config,
+        root_tag,
+        initial_token,
+        &MetricsHandle::detached(),
+    )
+}
+
+/// [`run_live`] with an observability sink: successful steals, failed steal
+/// attempts, and idle park episodes land in `metrics` as counters plus
+/// rate-limited trace events.  A detached handle makes this identical to
+/// `run_live`; all metered paths are off the work-execution hot loop (steals
+/// and idling only), so an attached registry stays within the measured ≤5%
+/// overhead bar.
+pub fn run_live_metered<P, V>(
+    program: &P,
+    visitor: &V,
+    config: LiveConfig,
+    root_tag: u64,
+    initial_token: Token,
+    metrics: &MetricsHandle,
+) -> RunStats
+where
+    P: LiveProgram,
+    V: LiveVisitor<P>,
+{
     let workers = config.workers.max(1);
     let deques: Vec<Deque<FrameRef<P>>> = (0..workers).map(|_| Deque::new_lifo()).collect();
     let stealers = deques.iter().map(|d| d.stealer()).collect();
@@ -272,6 +304,7 @@ where
         steals: AtomicU64::new(0),
         failed_steals: AtomicU64::new(0),
         threads_per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        metrics,
     };
 
     let start = Instant::now();
@@ -316,10 +349,25 @@ fn steal_loop<P: LiveProgram, V: LiveVisitor<P>>(
 ) {
     let workers = shared.stealers.len();
     let backoff = Backoff::new();
+    // Idle/park bookkeeping stays in plain locals; the (detached-by-default)
+    // metrics sink sees one counter bump per snooze and a rate-limited Park
+    // event (1 per 64 snoozes per worker) so an attached trace ring is not
+    // flooded by a long idle spell.
+    let mut snoozes: u64 = 0;
+    macro_rules! park {
+        () => {
+            backoff.snooze();
+            snoozes += 1;
+            shared.metrics.add(CounterId::Parks, 1);
+            if snoozes % 64 == 1 {
+                shared.metrics.event(EventKind::Park, ctx.index as u64, snoozes);
+            }
+        };
+    }
     while !shared.done.load(Ordering::Acquire) {
         debug_assert!(ctx.deque.is_empty(), "idle worker must have an empty deque");
         if workers == 1 {
-            backoff.snooze();
+            park!();
             continue;
         }
         let victim = ctx.next_victim(workers);
@@ -328,6 +376,7 @@ fn steal_loop<P: LiveProgram, V: LiveVisitor<P>>(
         }
         let Some(_guard) = shared.steal_locks[victim].try_lock() else {
             shared.failed_steals.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.add(CounterId::FailedSteals, 1);
             backoff.spin();
             continue;
         };
@@ -338,6 +387,8 @@ fn steal_loop<P: LiveProgram, V: LiveVisitor<P>>(
                 // record it, let the visitor split the victim's trace, mark
                 // the frame stolen (lines 19–24 of Figure 8).
                 shared.steals.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.add(CounterId::Steals, 1);
+                shared.metrics.event(EventKind::Steal, victim as u64, ctx.index as u64);
                 let victim_token = frame.entry_token.load(Ordering::Acquire);
                 let tokens = shared
                     .visitor
@@ -356,11 +407,13 @@ fn steal_loop<P: LiveProgram, V: LiveVisitor<P>>(
             Steal::Empty => {
                 drop(_guard);
                 shared.failed_steals.fetch_add(1, Ordering::Relaxed);
-                backoff.snooze();
+                shared.metrics.add(CounterId::FailedSteals, 1);
+                park!();
             }
             Steal::Retry => {
                 drop(_guard);
                 shared.failed_steals.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.add(CounterId::FailedSteals, 1);
                 backoff.spin();
             }
         }

@@ -33,6 +33,7 @@
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use spmetrics::{CounterId, EventKind, MetricsHandle};
 
 /// Handle to an element of a [`ConcurrentOmList`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -108,6 +109,9 @@ struct ChunkedSlots {
     /// Chunks allocated beyond the initial one — growth events, for tests
     /// and benchmarks.
     grow_events: AtomicU64,
+    /// Optional observability sink, consulted only on the (rare) growth
+    /// path — never on queries.
+    metrics: Mutex<MetricsHandle>,
 }
 
 // Chunk pointers are only ever null→non-null published once and freed in
@@ -123,6 +127,7 @@ impl ChunkedSlots {
             base,
             base_log2: base.trailing_zeros(),
             grow_events: AtomicU64::new(0),
+            metrics: Mutex::new(MetricsHandle::detached()),
         };
         this.publish_chunk(0);
         this
@@ -161,6 +166,9 @@ impl ChunkedSlots {
         self.chunks[k].store(ptr, Ordering::Release);
         if k > 0 {
             self.grow_events.fetch_add(1, Ordering::Relaxed);
+            let metrics = self.metrics.lock();
+            metrics.add(CounterId::OmGrowth, 1);
+            metrics.event(EventKind::OmGrow, self.cumulative(k) as u64, 0);
         }
     }
 
@@ -278,6 +286,13 @@ impl ConcurrentOmList {
     /// outgrew its slab.
     pub fn grow_events(&self) -> u64 {
         self.slots.grow_events.load(Ordering::Relaxed)
+    }
+
+    /// Route future growth events (counter + trace event with the new
+    /// capacity) to `metrics`.  Only the rare chunk-publication path looks
+    /// at the handle; queries and insertions that fit the slab never do.
+    pub fn attach_metrics(&self, metrics: MetricsHandle) {
+        *self.slots.metrics.lock() = metrics;
     }
 
     /// Current number of items.

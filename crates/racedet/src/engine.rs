@@ -41,6 +41,7 @@
 
 use parking_lot::Mutex;
 use spmaint::api::{BackendConfig, CurrentSpQuery, SpBackend};
+use spmetrics::{CounterId, EventKind, MetricsHandle};
 use sptree::tree::{ParseTree, ThreadId};
 
 use crate::access::{Access, AccessKind, AccessScript};
@@ -168,12 +169,34 @@ fn apply_access(
 /// Both tiers are sound for the same reason: a packed cell is one atomic
 /// word, the snapshot is a linearization point, and the locked path given
 /// the same snapshot would have reported nothing and written nothing.
+#[cfg(test)]
 fn silent_fast_path<S: ShadowStore + ?Sized>(
     queries: &dyn CurrentSpQuery,
     shadow: &S,
     current: ThreadId,
     access: Access,
 ) -> bool {
+    fast_path_tier(queries, shadow, current, access).is_some()
+}
+
+/// Which lock-free tier resolved an access — the per-access attribution
+/// behind the `shadow_owner_hint` / `shadow_lock_free` counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FastTier {
+    /// Tier 1: the cell's own ownership hint answered with zero SP queries.
+    OwnerHint,
+    /// Tier 2: the silent-read scratch-copy check answered lock-free.
+    SilentRead,
+}
+
+/// Tier-attributing body of [`silent_fast_path`]; `None` means the access
+/// needs the shard lock.
+fn fast_path_tier<S: ShadowStore + ?Sized>(
+    queries: &dyn CurrentSpQuery,
+    shadow: &S,
+    current: ThreadId,
+    access: Access,
+) -> Option<FastTier> {
     let before = shadow.load(access.loc);
     // Owner hint: writer is the current thread, reader absent (writes only —
     // a read would fill it) or the current thread itself.
@@ -183,20 +206,24 @@ fn silent_fast_path<S: ShadowStore + ?Sized>(
             None => access.kind == AccessKind::Write,
         };
         if reader_silent {
-            return true;
+            return Some(FastTier::OwnerHint);
         }
     }
     if access.kind != AccessKind::Read {
         // A write by a thread that is not the recorded writer always mutates
         // the writer slot.
-        return false;
+        return None;
     }
     let mut scratch = before;
     let mut raced = false;
     apply_access(queries, current, access.loc, access.kind, &mut scratch, &mut |_| {
         raced = true
     });
-    !raced && scratch == before
+    if !raced && scratch == before {
+        Some(FastTier::SilentRead)
+    } else {
+        None
+    }
 }
 
 /// Check one thread's scripted accesses against the sharded shadow memory:
@@ -216,6 +243,24 @@ pub fn check_thread_accesses<S: ShadowStore + ?Sized>(
     current: ThreadId,
     accesses: &[Access],
 ) {
+    check_thread_accesses_metered(queries, shadow, report, current, accesses, &MetricsHandle::detached());
+}
+
+/// [`check_thread_accesses`] with an observability sink.  Per-access tier
+/// attribution (owner-hint / lock-free silent read / striped-lock) and found
+/// races are tallied in plain locals during the batch and folded into
+/// `metrics` **once** at the end — an attached registry costs one
+/// `is_attached` check plus a handful of relaxed adds per batch, never
+/// per-access atomics, which is what keeps the measured overhead within the
+/// ≤5% bar.  Race events are published in script order, matching the report.
+pub fn check_thread_accesses_metered<S: ShadowStore + ?Sized>(
+    queries: &dyn CurrentSpQuery,
+    shadow: &S,
+    report: &Mutex<RaceReport>,
+    current: ThreadId,
+    accesses: &[Access],
+    metrics: &MetricsHandle,
+) {
     if accesses.is_empty() {
         return;
     }
@@ -225,6 +270,7 @@ pub fn check_thread_accesses<S: ShadowStore + ?Sized>(
     let mut order: Vec<u32> = (0..batch_index_count(accesses.len())).collect();
     order.sort_by_key(|&i| shadow.shard_of(accesses[i as usize].loc));
 
+    let (mut owner_hits, mut silent_hits, mut locked) = (0u64, 0u64, 0u64);
     let mut found: Vec<(u32, Race)> = Vec::new();
     let mut start = 0;
     while start < order.len() {
@@ -237,13 +283,22 @@ pub fn check_thread_accesses<S: ShadowStore + ?Sized>(
         for &idx in &order[start..end] {
             let access = accesses[idx as usize];
             if guard.is_none() {
-                if silent_fast_path(queries, shadow, current, access) {
-                    continue;
+                match fast_path_tier(queries, shadow, current, access) {
+                    Some(FastTier::OwnerHint) => {
+                        owner_hits += 1;
+                        continue;
+                    }
+                    Some(FastTier::SilentRead) => {
+                        silent_hits += 1;
+                        continue;
+                    }
+                    None => {}
                 }
                 // First access of the group that needs exclusivity: one lock
                 // acquisition covers the rest of the group.
                 guard = Some(shadow.lock_shard(shard));
             }
+            locked += 1;
             let mut cell = shadow.load(access.loc);
             let before = cell;
             apply_access(queries, current, access.loc, access.kind, &mut cell, &mut |race| {
@@ -257,13 +312,21 @@ pub fn check_thread_accesses<S: ShadowStore + ?Sized>(
         start = end;
     }
 
+    if metrics.is_attached() {
+        metrics.add(CounterId::ShadowOwnerHint, owner_hits);
+        metrics.add(CounterId::ShadowLockFree, silent_hits);
+        metrics.add(CounterId::ShadowLocked, locked);
+        metrics.add(CounterId::RacesFound, found.len() as u64);
+    }
+
     if !found.is_empty() {
         // Shard grouping visited accesses out of script order; restore it so
         // the report lists this thread's races exactly as the unbatched
         // engine did (sort is stable: ties keep writer-before-reader order).
         found.sort_by_key(|&(idx, _)| idx);
         let mut report = report.lock();
-        for (_, race) in found {
+        for (idx, race) in found {
+            metrics.event(EventKind::RaceFound, u64::from(race.loc), u64::from(idx));
             report.push(race);
         }
     }

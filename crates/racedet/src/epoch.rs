@@ -192,6 +192,18 @@ impl EpochShadowArena {
         self.purges.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Hard-clear the arena: rewrite every cell to empty and restart the
+    /// generation counter at 1 (generation 0 is the empty tag, so fresh
+    /// cells never alias the new session).  This is the quarantine path —
+    /// when a session panics mid-run its shadow writes are untrusted, so
+    /// the pool scrubs the arena physically instead of relying on the O(1)
+    /// generation bump.  Requires exclusive access, like [`Self::reset`].
+    pub fn quarantine_purge(&self) -> u32 {
+        self.purge();
+        self.gen.store(1, Ordering::Release);
+        1
+    }
+
     /// Grow the arena to cover at least `locations` locations, re-striping
     /// for `workers` workers.  Requires exclusive access (between sessions);
     /// existing generation state is preserved, new cells start empty.

@@ -46,7 +46,9 @@ pub mod serial;
 pub mod shadow;
 
 pub use access::{Access, AccessKind, AccessScript};
-pub use engine::{check_access_per_cell, check_thread_accesses, detect_races};
+pub use engine::{
+    check_access_per_cell, check_thread_accesses, check_thread_accesses_metered, detect_races,
+};
 pub use epoch::{EpochShadowArena, EpochShadowView};
 pub use live::{DetectionSink, LiveDetector};
 pub use parallel::ParallelRaceDetector;

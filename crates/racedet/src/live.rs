@@ -6,7 +6,7 @@
 //! they go, and the SP structure unfolds underneath them.  [`LiveDetector`]
 //! is the engine for that mode — the *same* sharded shadow memory and the
 //! *same* batched per-thread checking path
-//! ([`check_thread_accesses`]), fed from the
+//! ([`check_thread_accesses`](crate::check_thread_accesses)), fed from the
 //! event stream instead of a script:
 //!
 //! * [`LiveDetector::read`] / [`LiveDetector::write`] serve the program's
@@ -27,8 +27,10 @@ use parking_lot::Mutex;
 use spmaint::api::CurrentSpQuery;
 use sptree::tree::ThreadId;
 
+use spmetrics::MetricsHandle;
+
 use crate::access::Access;
-use crate::engine::check_thread_accesses;
+use crate::engine::check_thread_accesses_metered;
 use crate::report::RaceReport;
 use crate::shadow::ShardedShadowMemory;
 
@@ -65,6 +67,7 @@ pub struct LiveDetector {
     values: Vec<AtomicU64>,
     shadow: ShardedShadowMemory,
     report: Mutex<RaceReport>,
+    metrics: MetricsHandle,
 }
 
 impl LiveDetector {
@@ -72,10 +75,18 @@ impl LiveDetector {
     /// striping sized for `workers` concurrent workers.  All values start
     /// at 0.
     pub fn new(locations: u32, workers: usize) -> Self {
+        Self::with_metrics(locations, workers, MetricsHandle::detached())
+    }
+
+    /// [`LiveDetector::new`] with an observability sink: shadow-tier hit
+    /// counters and race counters/events are folded into `metrics` once per
+    /// checked thread batch.  Reports are bit-identical either way.
+    pub fn with_metrics(locations: u32, workers: usize, metrics: MetricsHandle) -> Self {
         LiveDetector {
             values: (0..locations).map(|_| AtomicU64::new(0)).collect(),
             shadow: ShardedShadowMemory::new(locations, workers),
             report: Mutex::new(RaceReport::new()),
+            metrics,
         }
     }
 
@@ -115,7 +126,14 @@ impl LiveDetector {
         thread: ThreadId,
         accesses: &[Access],
     ) {
-        check_thread_accesses(queries, &self.shadow, &self.report, thread, accesses);
+        check_thread_accesses_metered(
+            queries,
+            &self.shadow,
+            &self.report,
+            thread,
+            accesses,
+            &self.metrics,
+        );
     }
 
     /// Snapshot of the races found so far.

@@ -247,6 +247,7 @@ pub fn check_live_case(
                 max_threads: 4,
                 max_steals: 1,
                 enforce_determinacy: true,
+                ..RunConfig::default()
             };
             let run = match try_run_program(&live, &config) {
                 Ok(run) => run,

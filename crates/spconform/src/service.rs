@@ -272,14 +272,14 @@ pub fn check_service_case(
         for (pi, mi, name, handle) in handles {
             let outcome = handle.wait();
             let expected = &batch[pi].references[mi];
-            if outcome.report.races() != expected.races() {
+            if outcome.report().races() != expected.races() {
                 return Err(err(
                     name,
                     format!(
                         "session report diverges from the standalone run \
                          (program {pi}, {workers}-worker service, gen_limit {gen_limit}): \
                          {:?} vs {:?}",
-                        outcome.report.races(),
+                        outcome.report().races(),
                         expected.races()
                     ),
                 ));

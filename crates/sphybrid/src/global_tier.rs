@@ -104,6 +104,12 @@ impl GlobalTier {
         self.eng.grow_events() + self.heb.grow_events()
     }
 
+    /// Route growth events of both order-maintenance slabs to `metrics`.
+    pub fn attach_metrics(&self, metrics: &spmetrics::MetricsHandle) {
+        self.eng.attach_metrics(metrics.clone());
+        self.heb.attach_metrics(metrics.clone());
+    }
+
     /// Approximate heap bytes used.
     pub fn space_bytes(&self) -> usize {
         self.eng.space_bytes() + self.heb.space_bytes()

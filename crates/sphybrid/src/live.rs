@@ -123,6 +123,15 @@ impl LiveSpHybrid {
         self.global.grow_events() + self.local.grow_events()
     }
 
+    /// Route substrate growth events (order-maintenance slabs + union-find)
+    /// to `metrics`.  Only the rare chunk-publication paths consult the
+    /// handle, so an attached registry costs nothing per query or per
+    /// maintenance event.
+    pub fn attach_metrics(&self, metrics: &spmetrics::MetricsHandle) {
+        self.global.attach_metrics(metrics);
+        self.local.attach_metrics(metrics);
+    }
+
     /// Which trace does an already-executed thread currently belong to, and
     /// is its bag an S-bag?  (`FIND-TRACE`; diagnostics and tests.)
     pub fn find_trace(&self, thread: ThreadId) -> (TraceId, bool) {

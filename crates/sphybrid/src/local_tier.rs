@@ -63,6 +63,11 @@ impl LocalTier {
         self.sets.grow_events()
     }
 
+    /// Route growth events of the shared union-find to `metrics`.
+    pub fn attach_metrics(&self, metrics: &spmetrics::MetricsHandle) {
+        self.sets.attach_metrics(metrics.clone());
+    }
+
     /// `LOCAL-INSERT`: the currently executing `thread` (in procedure `proc`,
     /// running as part of `trace`) joins the S-bag of `proc`.
     ///

@@ -25,11 +25,12 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use forkrt::{
-    run_live, run_live_serial, LiveConfig, LiveVisitor, SerialLiveVisitor, SpKind, StealTokens,
-    Token,
+    run_live, run_live_metered, run_live_serial, LiveConfig, LiveVisitor, SerialLiveVisitor,
+    SpKind, StealTokens, Token,
 };
 use parking_lot::Mutex;
 use racedet::{Access, DetectionSink, LiveDetector, RaceReport};
+use spmetrics::{CounterId, EventKind, HistId, MetricsHandle};
 use spmaint::api::{CurrentSpQuery, SpQuery};
 use spmaint::stream::{StreamNode, StreamingSpBackend, StreamingSpOrder};
 use sphybrid::live::{LiveHybridConfig, LiveSpHybrid};
@@ -140,7 +141,7 @@ pub enum LiveMaintainer {
 }
 
 /// Configuration of a live run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Worker threads; 1 means deterministic serial execution on the calling
     /// thread.  Clamped to ≥ 1 ([`forkrt::WalkConfig`]-style) so a
@@ -167,6 +168,11 @@ pub struct RunConfig {
     /// [`DeterminacyViolation`] naming the first divergent node — never a
     /// bogus race report.  Off by default (zero overhead when off).
     pub enforce_determinacy: bool,
+    /// Opt-in observability sink (`spmetrics`).  Detached by default —
+    /// every metering call is an inlined no-op; attach a registry with
+    /// [`RunConfig::with_metrics`] to collect steal/park/shadow-tier/race
+    /// counters, per-run timing histograms, and trace events.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for RunConfig {
@@ -178,6 +184,7 @@ impl Default for RunConfig {
             max_steals: 1 << 7,
             maintainer: LiveMaintainer::Hybrid,
             enforce_determinacy: false,
+            metrics: MetricsHandle::detached(),
         }
     }
 }
@@ -205,6 +212,14 @@ impl RunConfig {
     #[must_use]
     pub fn enforced(mut self) -> Self {
         self.enforce_determinacy = true;
+        self
+    }
+
+    /// Attach an observability sink (builder-style):
+    /// `RunConfig::with_workers(4, 8).with_metrics(handle)`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
         self
     }
 }
@@ -300,6 +315,9 @@ struct SerialRunVisitor<'a> {
     sink: &'a dyn DetectionSink,
     next_thread: u32,
     buf: Vec<Access>,
+    /// Spawned procedures (P-nodes unfolded) — plain local, folded into the
+    /// metrics sink once at the end of the run.
+    spawns: u64,
     /// Structural-hash fold when the run is determinacy-enforced: a full
     /// capture on the reference-seeding run, a streaming check afterwards.
     capture: Option<&'a mut dyn SerialFold>,
@@ -307,6 +325,9 @@ struct SerialRunVisitor<'a> {
 
 impl SerialLiveVisitor<LiveCilk> for SerialRunVisitor<'_> {
     fn enter_internal(&mut self, kind: SpKind, meta: &Meta, tag: u64) -> (u64, u64) {
+        if kind.is_parallel() {
+            self.spawns += 1;
+        }
         if let Some(c) = self.capture.as_deref_mut() {
             c.fold(internal_record(meta.path, kind));
         }
@@ -336,6 +357,7 @@ fn run_serial_with<'a>(
     prog: &Proc,
     sink: &'a dyn DetectionSink,
     capture: Option<&'a mut (dyn SerialFold + 'a)>,
+    metrics: &MetricsHandle,
 ) -> SessionRun {
     let program = LiveCilk::new(prog);
     let (sp, root) = StreamingSpOrder::stream_new();
@@ -344,11 +366,14 @@ fn run_serial_with<'a>(
         sink,
         next_thread: 0,
         buf: Vec::new(),
+        spawns: 0,
         capture,
     };
+    metrics.event(EventKind::RunStarted, 0, 0);
     let start = Instant::now();
     let threads = run_live_serial(&program, &mut visitor, root.to_tag());
     let elapsed = start.elapsed();
+    finish_run_metrics(metrics, threads, visitor.spawns, 0, elapsed);
     SessionRun {
         threads,
         steals: 0,
@@ -359,6 +384,28 @@ fn run_serial_with<'a>(
         sp_grow_events: 0,
         elapsed,
     }
+}
+
+/// Fold a finished run's whole-run tallies into the metrics sink: thread and
+/// spawn counters, the elapsed-time histogram, and the RunFinished event.
+/// One call per run — never on a per-node path.
+fn finish_run_metrics(
+    metrics: &MetricsHandle,
+    threads: u64,
+    spawns: u64,
+    steals: u64,
+    elapsed: Duration,
+) {
+    if !metrics.is_attached() {
+        return;
+    }
+    metrics.add(CounterId::Threads, threads);
+    metrics.add(CounterId::Spawns, spawns);
+    metrics.record(
+        HistId::RunElapsedNs,
+        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+    );
+    metrics.event(EventKind::RunFinished, threads, steals);
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +432,10 @@ struct HybridRunVisitor<'a> {
     bufs: Vec<Mutex<Vec<Access>>>,
     /// Structural-hash capture when the run is determinacy-enforced.
     capture: Option<&'a SharedCapture>,
+    /// Spawn tally, bumped only when a registry is attached (P-nodes are
+    /// unfolded exactly once, so one relaxed add per spawn).
+    metrics: &'a MetricsHandle,
+    spawns: AtomicU64,
 }
 
 impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
@@ -398,6 +449,9 @@ impl LiveVisitor<LiveCilk> for HybridRunVisitor<'_> {
     ) -> (u64, u64) {
         // The hybrid keys on proc ids and trace tokens, not tags; this
         // override exists only to fold enforced runs' internal nodes.
+        if kind.is_parallel() && self.metrics.is_attached() {
+            self.spawns.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(c) = self.capture {
             c.fold(worker, internal_record(meta.path, kind));
         }
@@ -459,12 +513,16 @@ fn run_hybrid_with(
     hints: (usize, usize),
     sink: &dyn DetectionSink,
     capture: Option<&SharedCapture>,
+    metrics: &MetricsHandle,
 ) -> SessionRun {
     let program = LiveCilk::new(prog);
     let hybrid = LiveSpHybrid::new(LiveHybridConfig {
         max_threads: hints.0,
         max_steals: hints.1,
     });
+    if metrics.is_attached() {
+        hybrid.attach_metrics(metrics);
+    }
     let next_thread = AtomicU32::new(0);
     let visitor = HybridRunVisitor {
         hybrid: &hybrid,
@@ -472,13 +530,24 @@ fn run_hybrid_with(
         next_thread: &next_thread,
         bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
         capture,
+        metrics,
+        spawns: AtomicU64::new(0),
     };
-    let stats = run_live(
+    metrics.event(EventKind::RunStarted, workers as u64, 0);
+    let stats = run_live_metered(
         &program,
         &visitor,
         LiveConfig::with_workers(workers),
         0,
         hybrid.root_trace().to_token(),
+        metrics,
+    );
+    finish_run_metrics(
+        metrics,
+        stats.total_threads(),
+        visitor.spawns.load(Ordering::Relaxed),
+        stats.steals,
+        stats.elapsed,
     );
     SessionRun {
         threads: stats.total_threads(),
@@ -522,6 +591,9 @@ struct NaiveRunVisitor<'a> {
     bufs: Vec<Mutex<Vec<Access>>>,
     /// Structural-hash capture when the run is determinacy-enforced.
     capture: Option<&'a SharedCapture>,
+    /// Spawn tally, bumped only when a registry is attached.
+    metrics: &'a MetricsHandle,
+    spawns: AtomicU64,
 }
 
 impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
@@ -533,6 +605,9 @@ impl LiveVisitor<LiveCilk> for NaiveRunVisitor<'_> {
         tag: u64,
         _token: Token,
     ) -> (u64, u64) {
+        if kind.is_parallel() && self.metrics.is_attached() {
+            self.spawns.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(c) = self.capture {
             c.fold(worker, internal_record(meta.path, kind));
         }
@@ -585,6 +660,7 @@ fn run_naive_with(
     workers: usize,
     sink: &dyn DetectionSink,
     capture: Option<&SharedCapture>,
+    metrics: &MetricsHandle,
 ) -> SessionRun {
     let program = LiveCilk::new(prog);
     let (sp, root) = StreamingSpOrder::stream_new();
@@ -596,13 +672,24 @@ fn run_naive_with(
         next_thread: &next_thread,
         bufs: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
         capture,
+        metrics,
+        spawns: AtomicU64::new(0),
     };
-    let stats = run_live(
+    metrics.event(EventKind::RunStarted, workers as u64, 0);
+    let stats = run_live_metered(
         &program,
         &visitor,
         LiveConfig::with_workers(workers),
         root.to_tag(),
         0,
+        metrics,
+    );
+    finish_run_metrics(
+        metrics,
+        stats.total_threads(),
+        visitor.spawns.load(Ordering::Relaxed),
+        stats.steals,
+        stats.elapsed,
     );
     let sp = shared.sp.into_inner();
     SessionRun {
@@ -636,16 +723,31 @@ fn run_naive_with(
 /// deterministic: same program + same mode ⇒ bit-identical accesses,
 /// thread ids, and report.
 pub fn run_session(prog: &Proc, mode: SessionMode, sink: &dyn DetectionSink) -> SessionRun {
+    run_session_metered(prog, mode, sink, &MetricsHandle::detached())
+}
+
+/// [`run_session`] with an observability sink: runtime events (steals,
+/// parks), per-run counters, and substrate-growth events land in `metrics`.
+/// Reports and [`SessionRun`] stats are bit-identical with a detached
+/// handle.
+pub fn run_session_metered(
+    prog: &Proc,
+    mode: SessionMode,
+    sink: &dyn DetectionSink,
+    metrics: &MetricsHandle,
+) -> SessionRun {
     let hints = {
         let d = RunConfig::default();
         (d.max_threads, d.max_steals)
     };
     match mode {
-        SessionMode::Serial => run_serial_with(prog, sink, None),
+        SessionMode::Serial => run_serial_with(prog, sink, None, metrics),
         SessionMode::Hybrid { workers } => {
-            run_hybrid_with(prog, workers.max(1), hints, sink, None)
+            run_hybrid_with(prog, workers.max(1), hints, sink, None, metrics)
         }
-        SessionMode::NaiveLocked { workers } => run_naive_with(prog, workers.max(1), sink, None),
+        SessionMode::NaiveLocked { workers } => {
+            run_naive_with(prog, workers.max(1), sink, None, metrics)
+        }
     }
 }
 
@@ -773,15 +875,20 @@ pub fn run_program(prog: &Proc, config: &RunConfig) -> LiveRun {
 /// ```
 pub fn try_run_program(prog: &Proc, config: &RunConfig) -> Result<LiveRun, DeterminacyViolation> {
     let workers = config.workers.max(1);
-    let detector = LiveDetector::new(config.locations, workers);
+    let metrics = &config.metrics;
+    let detector = LiveDetector::with_metrics(config.locations, workers, metrics.clone());
     let hints = (config.max_threads, config.max_steals);
     if !config.enforce_determinacy {
         let stats = if workers == 1 {
-            run_serial_with(prog, &detector, None)
+            run_serial_with(prog, &detector, None, metrics)
         } else {
             match config.maintainer {
-                LiveMaintainer::Hybrid => run_hybrid_with(prog, workers, hints, &detector, None),
-                LiveMaintainer::NaiveLocked => run_naive_with(prog, workers, &detector, None),
+                LiveMaintainer::Hybrid => {
+                    run_hybrid_with(prog, workers, hints, &detector, None, metrics)
+                }
+                LiveMaintainer::NaiveLocked => {
+                    run_naive_with(prog, workers, &detector, None, metrics)
+                }
             }
         };
         return Ok(finish_live_run(detector, stats, None));
@@ -794,9 +901,11 @@ pub fn try_run_program(prog: &Proc, config: &RunConfig) -> Result<LiveRun, Deter
         // in place, allocating nothing on the steady-state happy path.
         if let Some(reference) = prog.reference.get() {
             let mut check = SerialCheck::new(reference);
-            let stats = run_serial_with(prog, &detector, Some(&mut check));
+            let stats = run_serial_with(prog, &detector, Some(&mut check), metrics);
             let hash = check.hash;
             if hash != reference.hash {
+                metrics.add(CounterId::EnforcementMismatches, 1);
+                metrics.event(EventKind::EnforcementMismatch, 1, 0);
                 return Err(DeterminacyViolation {
                     serial_hash: reference.hash,
                     parallel_hash: hash,
@@ -807,7 +916,7 @@ pub fn try_run_program(prog: &Proc, config: &RunConfig) -> Result<LiveRun, Deter
             return Ok(finish_live_run(detector, stats, Some(hash)));
         }
         let mut capture = SerialCapture::default();
-        let stats = run_serial_with(prog, &detector, Some(&mut capture));
+        let stats = run_serial_with(prog, &detector, Some(&mut capture), metrics);
         let hash = capture.hash;
         let _ = prog.reference.set(Arc::new(capture.into_reference()));
         return Ok(finish_live_run(detector, stats, Some(hash)));
@@ -819,26 +928,32 @@ pub fn try_run_program(prog: &Proc, config: &RunConfig) -> Result<LiveRun, Deter
     let capture = SharedCapture::new(workers);
     let stats = match config.maintainer {
         LiveMaintainer::Hybrid => {
-            run_hybrid_with(prog, workers, hints, &detector, Some(&capture))
+            run_hybrid_with(prog, workers, hints, &detector, Some(&capture), metrics)
         }
-        LiveMaintainer::NaiveLocked => run_naive_with(prog, workers, &detector, Some(&capture)),
+        LiveMaintainer::NaiveLocked => {
+            run_naive_with(prog, workers, &detector, Some(&capture), metrics)
+        }
     };
     let hash = capture.hash();
     if hash != reference.hash {
+        metrics.add(CounterId::EnforcementMismatches, 1);
+        metrics.event(EventKind::EnforcementMismatch, workers as u64, 0);
         // The hot path keeps per-worker hashes only; re-run with full
         // node recording to *name* the first divergent node.  A program
         // that diverged once is schedule-dependent and diverges again
         // with overwhelming likelihood — if this run happens to match
         // the reference after all, the violation is still reported,
-        // just without a named node.
+        // just without a named node.  The diagnostic re-run stays
+        // unmetered so it cannot double-count the failed run.
         let recording = SharedCapture::recording(workers, reference.nodes.len());
         let rerun_sink = LiveDetector::new(config.locations, workers);
+        let detached = MetricsHandle::detached();
         match config.maintainer {
             LiveMaintainer::Hybrid => {
-                run_hybrid_with(prog, workers, hints, &rerun_sink, Some(&recording))
+                run_hybrid_with(prog, workers, hints, &rerun_sink, Some(&recording), &detached)
             }
             LiveMaintainer::NaiveLocked => {
-                run_naive_with(prog, workers, &rerun_sink, Some(&recording))
+                run_naive_with(prog, workers, &rerun_sink, Some(&recording), &detached)
             }
         };
         let divergence = if recording.hash() == reference.hash {

@@ -26,8 +26,9 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use racedet::epoch::{EpochShadowArena, EpochShadowView};
-use racedet::{check_thread_accesses, Access, DetectionSink, RaceReport};
+use racedet::{check_thread_accesses_metered, Access, DetectionSink, RaceReport};
 use spmaint::api::CurrentSpQuery;
+use spmetrics::MetricsHandle;
 use sptree::tree::ThreadId;
 
 /// "Never written in any generation" sentinel for value-generation words.
@@ -77,14 +78,37 @@ impl SessionArena {
     /// plane instead of reallocating or zeroing ~`capacity()` cells.  The
     /// value plane purges its generation words whenever the shadow plane
     /// wraps, so the two planes stay in lockstep and a recycled generation
-    /// number can never resurrect a previous cycle's values.
-    pub fn recycle(&self) {
+    /// number can never resurrect a previous cycle's values.  Returns the
+    /// new generation; 0 means the tag space wrapped and both planes were
+    /// purged.
+    pub fn recycle(&self) -> u32 {
         let next = self.shadow.reset();
         if next == 0 {
-            for g in &self.val_gens {
-                g.store(VAL_GEN_NONE, Ordering::Release);
-            }
+            self.purge_val_gens();
         }
+        next
+    }
+
+    /// Hard-scrub both planes and restart the generation counter — the
+    /// quarantine path for a session that panicked mid-run, whose shadow
+    /// and value writes are untrusted (see
+    /// [`EpochShadowArena::quarantine_purge`]).  Requires exclusive access,
+    /// like [`Self::recycle`].  Returns the fresh generation.
+    pub fn quarantine_purge(&self) -> u32 {
+        let next = self.shadow.quarantine_purge();
+        self.purge_val_gens();
+        next
+    }
+
+    fn purge_val_gens(&self) {
+        for g in &self.val_gens {
+            g.store(VAL_GEN_NONE, Ordering::Release);
+        }
+    }
+
+    /// The generation a sink leased now would be pinned to.
+    pub fn current_gen(&self) -> u32 {
+        self.shadow.current_gen()
     }
 
     /// Epoch resets performed (one per recycled lease).
@@ -102,6 +126,13 @@ impl SessionArena {
     /// The sink is pinned to the current generation; drop it and call
     /// [`Self::recycle`] before the next lease.
     pub fn sink(&self, locations: u32) -> SessionSink<'_> {
+        self.sink_metered(locations, MetricsHandle::detached())
+    }
+
+    /// [`Self::sink`] with an observability sink: shadow-tier hit counters
+    /// and race counters/events are folded into `metrics` once per checked
+    /// thread batch.  Reports are bit-identical either way.
+    pub fn sink_metered(&self, locations: u32, metrics: MetricsHandle) -> SessionSink<'_> {
         assert!(
             locations <= self.capacity(),
             "session wants {locations} locations but the arena holds {}; grow it first",
@@ -114,6 +145,7 @@ impl SessionArena {
             gen: self.shadow.current_gen(),
             locations,
             report: Mutex::new(RaceReport::new()),
+            metrics,
         }
     }
 
@@ -138,6 +170,7 @@ pub struct SessionSink<'a> {
     gen: u32,
     locations: u32,
     report: Mutex<RaceReport>,
+    metrics: MetricsHandle,
 }
 
 impl SessionSink<'_> {
@@ -185,7 +218,14 @@ impl DetectionSink for SessionSink<'_> {
     }
 
     fn check_thread(&self, queries: &dyn CurrentSpQuery, thread: ThreadId, accesses: &[Access]) {
-        check_thread_accesses(queries, &self.view, &self.report, thread, accesses);
+        check_thread_accesses_metered(
+            queries,
+            &self.view,
+            &self.report,
+            thread,
+            accesses,
+            &self.metrics,
+        );
     }
 }
 

@@ -45,6 +45,6 @@ pub use arena::{SessionArena, SessionSink};
 pub use p2::P2Quantile;
 pub use sched::{RuntimeEstimator, WorkloadSignature};
 pub use service::{
-    parse_workers_env, DetectionService, ServiceConfig, ServiceStats, SessionHandle,
-    SessionOutcome, WORKERS_ENV,
+    parse_workers_env, DetectionService, ServiceConfig, ServiceStats, SessionCompleted,
+    SessionHandle, SessionMetrics, SessionOutcome, SessionPanicked, WORKERS_ENV,
 };

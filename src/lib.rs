@@ -127,6 +127,7 @@ pub use racedet;
 pub use spconform;
 pub use sphybrid;
 pub use spmaint;
+pub use spmetrics;
 pub use spprog;
 pub use spservice;
 pub use sptree;
@@ -147,7 +148,8 @@ pub mod prelude {
         DeterminacyViolation, Divergence, LiveMaintainer, Proc, ProcBuilder, RunConfig,
         SessionMode, StepCtx,
     };
-    pub use spservice::{DetectionService, ServiceConfig, SessionOutcome};
+    pub use spmetrics::{CounterId, EventKind, HistId, MetricsHandle, MetricsRegistry};
+    pub use spservice::{DetectionService, ServiceConfig, SessionMetrics, SessionOutcome};
     pub use sphybrid::{run_hybrid, HybridBackend, HybridConfig, NaiveBackend, SpHybrid};
     pub use spmaint::{
         run_serial, run_serial_with_queries, BackendConfig, CurrentSpQuery, EnglishHebrewLabels,

@@ -41,6 +41,7 @@ fn enforced(
         max_steals: hints.1,
         maintainer,
         enforce_determinacy: true,
+        ..RunConfig::default()
     }
 }
 

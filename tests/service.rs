@@ -96,7 +96,7 @@ fn concurrent_sessions_match_solo_runs_bit_for_bit() {
     for (w, handle) in handles {
         let outcome = handle.wait();
         assert_eq!(
-            outcome.report.races(),
+            outcome.report().races(),
             solos[w].races(),
             "workload `{}` diverged from its solo run",
             workloads[w].0
@@ -132,7 +132,7 @@ fn sessions_stay_identical_across_generation_wraparound() {
         for (w, (label, prog, locations)) in workloads.iter().enumerate() {
             let outcome = service.submit(prog, *locations).wait();
             assert_eq!(
-                outcome.report.races(),
+                outcome.report().races(),
                 solos[w].races(),
                 "round {round}, workload `{label}`"
             );
@@ -164,8 +164,8 @@ fn every_deterministic_mode_matches_its_own_standalone_run() {
         let standalone = detector.into_report();
         assert_eq!(standalone.racy_locations(), vec![0, 1]);
         let outcome = service.submit_with(&prog, 2, mode).wait();
-        assert_eq!(outcome.mode, mode);
-        assert_eq!(outcome.report.races(), standalone.races(), "mode {mode:?}");
+        assert_eq!(outcome.mode(), mode);
+        assert_eq!(outcome.report().races(), standalone.races(), "mode {mode:?}");
     }
     service.shutdown();
 }
@@ -184,5 +184,5 @@ fn facade_reexports_the_service_layer() {
     });
     let service = DetectionService::new(ServiceConfig::default());
     let outcome: SessionOutcome = service.submit(&prog, 1).wait();
-    assert_eq!(outcome.report.racy_locations(), vec![0]);
+    assert_eq!(outcome.report().racy_locations(), vec![0]);
 }
